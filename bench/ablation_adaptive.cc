@@ -1,0 +1,52 @@
+// Ablation: the adaptive vCPU time slice (§4.1) and the adaptive empty-poll
+// yield threshold (§4.3). Fixed-slice configurations pay more VM-exits for
+// the same donated time; fixed-threshold configurations either waste idle
+// cycles (large N) or trigger false-positive yields (small N).
+#include "bench/common.h"
+
+using namespace taichi;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool adaptive_slice;
+  bool adaptive_threshold;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation", "adaptive slice / adaptive yield threshold");
+
+  const std::vector<Config> kConfigs = {
+      {"both adaptive (Tai Chi)", true, true},
+      {"fixed slice", false, true},
+      {"fixed threshold", true, false},
+      {"both fixed", false, false},
+  };
+
+  sim::Table t({"Configuration", "synth_cp avg (ms)", "VM exits", "exits/donated-ms",
+                "false-positive yields"});
+  for (const Config& config : kConfigs) {
+    auto bed = bench::MakeTestbed(exp::Mode::kTaiChi, 42, [&](exp::TestbedConfig& cfg) {
+      cfg.taichi.adaptive_slice = config.adaptive_slice;
+      cfg.taichi.adaptive_yield_threshold = config.adaptive_threshold;
+    });
+    exp::SynthCpResult r = exp::RunSynthCp(bed.get(), 16, /*dp_utilization=*/0.30);
+    const auto& sched = bed->taichi()->scheduler();
+    uint64_t exits = sched.slice_expirations() + sched.probe_preemptions() + sched.halts();
+    double donated_ms =
+        sched.guest_episode_us().count() > 0
+            ? sched.guest_episode_us().sum() / 1000.0
+            : 0.0;
+    t.AddRow({config.name, sim::Table::Num(r.exec_time_ms.mean(), 1),
+              std::to_string(exits),
+              sim::Table::Num(donated_ms > 0 ? exits / donated_ms : 0, 2),
+              std::to_string(bed->taichi()->sw_probe().false_positives())});
+  }
+  t.Print();
+  std::printf("\nDesign claim (§4.1/§4.3): adaptation minimizes costly VM-exits while\n"
+              "keeping CP progress; fixed settings trade one for the other.\n");
+  return 0;
+}

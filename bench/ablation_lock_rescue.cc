@@ -1,0 +1,45 @@
+// Ablation: safe CP-to-DP scheduling in lock context (§4.1). With the
+// rescue disabled, a vCPU preempted while holding the shared driver lock
+// can strand every spinning waiter; with it enabled, the vCPU continues on
+// an idle DP pCPU or a dedicated CP pCPU and forward progress is
+// guaranteed.
+#include "bench/common.h"
+
+using namespace taichi;
+
+int main() {
+  bench::PrintHeader("Ablation", "lock-context safe rescheduling on/off");
+
+  sim::Table t({"Configuration", "tasks done (of 24)", "avg exec (ms)", "max exec (ms)",
+                "lock rescues"});
+  for (bool rescue : {true, false}) {
+    auto bed = bench::MakeTestbed(exp::Mode::kTaiChi, 42, [&](exp::TestbedConfig& cfg) {
+      cfg.taichi.safe_lock_rescheduling = rescue;
+    });
+    // Lock-heavy synth_cp under bursty DP traffic: probe preemptions land
+    // while the driver lock is held.
+    cp::SynthCpConfig scfg;
+    scfg.lock_prob = 0.8;
+    scfg.kernel_fraction = 0.5;
+
+    bed->SpawnBackgroundCp();
+    bed->StartBackgroundBurstyLoad(0.35, 512);
+    bed->sim().RunFor(sim::Millis(20));
+    auto bench_cp = std::make_unique<cp::SynthCpBenchmark>(&bed->kernel(), scfg, 7);
+    bench_cp->Launch(24, bed->cp_task_cpus());
+    sim::SimTime deadline = bed->sim().Now() + sim::Seconds(4);
+    while (!bench_cp->AllDone() && bed->sim().Now() < deadline) {
+      bed->sim().RunFor(sim::Millis(20));
+    }
+    double avg = bench_cp->done() > 0 ? bench_cp->exec_time_ms().mean() : -1;
+    double mx = bench_cp->done() > 0 ? bench_cp->exec_time_ms().max() : -1;
+    t.AddRow({rescue ? "rescue on (Tai Chi)" : "rescue off",
+              std::to_string(bench_cp->done()), sim::Table::Num(avg, 1),
+              sim::Table::Num(mx, 1),
+              std::to_string(bed->taichi()->scheduler().lock_rescues())});
+  }
+  t.Print();
+  std::printf("\nDesign claim (§4.1): rescue guarantees forward progress for\n"
+              "lock-holding vCPUs; disabling it risks stalls/hangs under preemption.\n");
+  return 0;
+}

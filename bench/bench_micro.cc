@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) of the framework's hot primitives:
+// event-queue operations, RNG draws, IPI routing, context switches and the
+// full pCPU<->vCPU switch cycle. These measure simulator wall-clock cost —
+// useful for keeping the large experiments fast — and document the modeled
+// costs of each path in simulated time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/exp/testbed.h"
+#include "src/os/behaviors.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+using namespace taichi;
+
+static void BM_EventQueueSchedulePop(benchmark::State& state) {
+  sim::EventQueue q;
+  uint64_t t = 0;
+  for (auto _ : state) {
+    q.Schedule(++t, [] {});
+    benchmark::DoNotOptimize(q.PopNext());
+  }
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+static void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  uint64_t t = 0;
+  for (auto _ : state) {
+    sim::EventId id = q.Schedule(++t, [] {});
+    benchmark::DoNotOptimize(q.Cancel(id));
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+static void BM_RngDraw(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Exponential(100.0));
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+static void BM_KernelContextSwitch(benchmark::State& state) {
+  // Two yield-looping tasks on one CPU: each sim step is one task switch.
+  sim::Simulation sim;
+  hw::MachineConfig mcfg;
+  mcfg.num_cpus = 1;
+  hw::Machine machine(&sim, mcfg);
+  os::Kernel kernel(&sim, &machine, os::KernelConfig{});
+  for (int i = 0; i < 2; ++i) {
+    kernel.Spawn("yielder",
+                 std::make_unique<os::LoopBehavior>(std::vector<os::Action>{
+                     os::Action::Compute(sim::Micros(1)), os::Action::Yield()}),
+                 os::CpuSet::Of({0}));
+  }
+  for (auto _ : state) {
+    sim.RunFor(sim::Micros(10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kernel.context_switches()));
+}
+BENCHMARK(BM_KernelContextSwitch);
+
+static void BM_IpiRoundTrip(benchmark::State& state) {
+  sim::Simulation sim;
+  hw::MachineConfig mcfg;
+  mcfg.num_cpus = 2;
+  hw::Machine machine(&sim, mcfg);
+  os::Kernel kernel(&sim, &machine, os::KernelConfig{});
+  for (auto _ : state) {
+    kernel.SendIpi(0, 1, os::IpiType::kResched);
+    sim.RunFor(sim::Micros(1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kernel.ipis_sent()));
+}
+BENCHMARK(BM_IpiRoundTrip);
+
+static void BM_GuestEnterExitCycle(benchmark::State& state) {
+  sim::Simulation sim;
+  hw::MachineConfig mcfg;
+  mcfg.num_cpus = 2;
+  hw::Machine machine(&sim, mcfg);
+  os::Kernel kernel(&sim, &machine, os::KernelConfig{});
+  os::CpuId vcpu = kernel.RegisterCpu(os::CpuKind::kVirtual, 100);
+  kernel.OnlineCpu(vcpu);
+  sim.RunFor(sim::Millis(1));
+  kernel.Spawn("guest_work",
+               std::make_unique<os::LoopBehavior>(std::vector<os::Action>{
+                   os::Action::Compute(sim::Micros(100))}),
+               os::CpuSet::Of({vcpu}));
+  for (auto _ : state) {
+    kernel.EnterGuest(0, vcpu);
+    sim.RunFor(sim::Micros(10));
+    if (kernel.guest_of(0) != os::kInvalidCpu) {
+      kernel.ExitGuest(0, os::GuestExitReason::kForced);
+    }
+    sim.RunFor(sim::Micros(10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kernel.guest_entries()));
+}
+BENCHMARK(BM_GuestEnterExitCycle);
+
+static void BM_AcceleratorIngress(benchmark::State& state) {
+  sim::Simulation sim;
+  hw::Accelerator accel(&sim, {});
+  uint32_t q = accel.AddQueue(0);
+  hw::IoPacket pkt;
+  uint64_t drained = 0;
+  for (auto _ : state) {
+    accel.Ingress(q, pkt);
+    sim.RunFor(sim::Micros(4));
+    std::vector<hw::IoPacket> out;
+    drained += accel.ring(q).PopBurst(32, std::back_inserter(out));
+  }
+  benchmark::DoNotOptimize(drained);
+}
+BENCHMARK(BM_AcceleratorIngress);
+
+static void BM_TestbedSecondOfTraffic(benchmark::State& state) {
+  // Wall cost of simulating 1 ms of saturated baseline traffic.
+  exp::TestbedConfig cfg;
+  cfg.mode = exp::Mode::kBaseline;
+  auto bed = std::make_unique<exp::Testbed>(cfg);
+  bed->StartBackgroundLoad(1e6, 256, dp::OpenLoopConfig::Process::kPoisson);
+  for (auto _ : state) {
+    bed->sim().RunFor(sim::Millis(1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(bed->sim().events_executed()));
+}
+BENCHMARK(BM_TestbedSecondOfTraffic);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+#include "src/sim/table.h"
+
+namespace taichi::bench {
+
+inline std::unique_ptr<exp::Testbed> MakeTestbed(
+    exp::Mode mode, uint64_t seed = 42,
+    const std::function<void(exp::TestbedConfig&)>& tweak = nullptr) {
+  exp::TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.seed = seed;
+  if (tweak) {
+    tweak(cfg);
+  }
+  return std::make_unique<exp::Testbed>(std::move(cfg));
+}
+
+// Sustained control-plane pressure: a busy monitor/agent fleet that keeps
+// runnable vCPUs contending for idle DP cycles throughout a benchmark. The
+// §6.5 overheads are the cost of this donation actually happening.
+inline void CpPressure(exp::TestbedConfig& cfg) {
+  cfg.monitors.count = 12;
+  cfg.monitors.period_mean = sim::Micros(300);
+  cfg.monitors.user_work_mean = sim::Micros(60);
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline std::string Pct(double value, double reference) {
+  if (reference == 0) {
+    return "n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", (value / reference - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace taichi::bench
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Figure 2: average VM startup time and device-management CP task execution
+// time vs instance density, on the static-partition baseline (the paper's
+// motivation). Paper: at 4x density CP execution degrades ~8x and VM
+// startup exceeds its SLO by ~3.1x.
+#include "bench/common.h"
+
+using namespace taichi;
+
+namespace {
+
+// SLO targets used for normalization (absolute values are calibration
+// constants; the figure's message is the normalized growth).
+constexpr double kStartupSloMs = 160.0;
+constexpr double kCpExecSloMs = 30.0;
+// Host-side instantiation after the CP finishes device provisioning.
+constexpr double kHostInstantiateMs = 60.0;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 2",
+                     "VM startup & CP execution vs instance density (baseline)");
+
+  sim::Table t({"Density", "CP exec (ms)", "CP exec / SLO", "VM startup (ms)",
+                "VM startup / SLO"});
+  double base_exec = 0;
+  for (int density = 1; density <= 4; ++density) {
+    auto bed = bench::MakeTestbed(
+        exp::Mode::kBaseline, 42 + density, [density](exp::TestbedConfig& cfg) {
+          // Higher density: more devices per VM and more monitoring load.
+          cfg.vm_startup.devices_per_vm = 6 * density;
+          cfg.monitors.count = 6 * density;
+        });
+    exp::VmStartupResult r = exp::RunVmStartupStorm(
+        bed.get(), /*num_vms=*/60, /*arrival_rate_per_sec=*/50.0 * density,
+        /*dp_utilization=*/0.25);
+    double exec_ms = r.startup_ms.mean();
+    if (density == 1) {
+      base_exec = exec_ms;
+    }
+    double startup_ms = exec_ms + kHostInstantiateMs;
+    t.AddRow({std::to_string(density) + "x", sim::Table::Num(exec_ms, 1),
+              sim::Table::Num(exec_ms / kCpExecSloMs, 2),
+              sim::Table::Num(startup_ms, 1),
+              sim::Table::Num(startup_ms / kStartupSloMs, 2)});
+    if (density == 4 && base_exec > 0) {
+      std::printf("(CP exec degradation at 4x density: %.1fx; paper: ~8x)\n",
+                  exec_ms / base_exec);
+    }
+  }
+  t.Print();
+  std::printf("\npaper: CP exec ~8x worse and startup ~3.1x over SLO at 4x density\n");
+  return 0;
+}

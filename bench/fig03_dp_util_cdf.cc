@@ -1,0 +1,55 @@
+// Figure 3: CDF of data-plane CPU utilization across the fleet.
+// Paper: 1.2M per-second samples; 99.68% of values below 32.5% (67.5% of
+// CPU cycles idle at the p99 provisioning point).
+//
+// We emulate fleet heterogeneity by drawing each (node, CPU)'s average load
+// from a lognormal and driving bursty traffic at that level, then sampling
+// per-second utilization exactly as the production collector does.
+#include <algorithm>
+
+#include "bench/common.h"
+#include "src/sim/random.h"
+
+using namespace taichi;
+
+int main() {
+  bench::PrintHeader("Figure 3", "CDF of data-plane CPU utilization (per-second samples)");
+
+  sim::CdfBuilder cdf;
+  sim::Rng fleet_rng(2024);
+  constexpr int kNodes = 12;
+  constexpr int kSecondsPerNode = 20;
+
+  for (int node = 0; node < kNodes; ++node) {
+    auto bed = bench::MakeTestbed(exp::Mode::kBaseline, 1000 + node);
+    // Draw each CPU's average utilization from the fleet mix: median ~9%,
+    // a thin tail of hot CPUs reaching the low 30s (and rarely beyond).
+    std::vector<double> utils;
+    for (size_t i = 0; i < bed->active_dp_cpus().size(); ++i) {
+      utils.push_back(std::clamp(fleet_rng.LogNormal(0.095, 0.50), 0.005, 0.85));
+    }
+    bed->StartBackgroundBurstyLoadPerCpu(utils, 512);
+
+    std::vector<sim::Duration> last_work(bed->service_count(), 0);
+    for (int second = 0; second < kSecondsPerNode; ++second) {
+      bed->sim().RunFor(sim::Seconds(1));
+      for (size_t i = 0; i < bed->service_count(); ++i) {
+        sim::Duration work = bed->service(i).work_time();
+        double util = sim::ToSeconds(work - last_work[i]);
+        last_work[i] = work;
+        cdf.Add(util * 100.0);
+      }
+    }
+  }
+
+  sim::Table t({"Utilization threshold (%)", "Fraction of samples below"});
+  for (double x : {5.0, 10.0, 15.0, 20.0, 25.0, 32.5, 40.0, 50.0, 75.0}) {
+    t.AddRow({sim::Table::Num(x, 1), sim::Table::Num(cdf.FractionBelow(x) * 100.0, 2) + "%"});
+  }
+  t.Print();
+  std::printf("\nSamples: %zu   paper: 99.68%% of samples below 32.5%% utilization\n",
+              cdf.count());
+  std::printf("measured: %.2f%% of samples below 32.5%% -> %.1f%% idle cycles at p99\n",
+              cdf.FractionBelow(32.5) * 100.0, 100.0 - 32.5);
+  return 0;
+}

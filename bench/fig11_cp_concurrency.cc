@@ -1,0 +1,40 @@
+// Figure 11: average synth_cp execution time under varying control-plane
+// concurrency, baseline vs Tai Chi, with data-plane utilization held at the
+// production p99 (~30%). Paper: Tai Chi is ~4x faster at 32 concurrent
+// tasks because idle DP cycles become vCPU capacity for the control plane.
+#include "bench/common.h"
+
+using namespace taichi;
+
+int main() {
+  bench::PrintHeader("Figure 11",
+                     "synth_cp avg execution time vs concurrency (DP util ~30%)");
+
+  const std::vector<int> kConcurrency = {1, 2, 4, 8, 16, 24, 32};
+  sim::Table t({"Concurrency", "Baseline (ms)", "Tai Chi (ms)", "Speedup"});
+
+  for (int c : kConcurrency) {
+    auto run = [&](exp::Mode mode) {
+      auto bed = bench::MakeTestbed(mode, 42 + c, [](exp::TestbedConfig& cfg) {
+        // Production-weight steady CP background (the ecosystem of §3.2:
+        // hundreds of monitors, collectors and orchestration agents) keeps
+        // a sizable fraction of the 4-CPU static partition busy in both
+        // modes: near-continuous agents with short sleeps.
+        cfg.monitors.count = 8;
+        cfg.monitors.period_mean = sim::Micros(400);
+        cfg.monitors.user_work_mean = sim::Micros(300);
+      });
+      return exp::RunSynthCp(bed.get(), c, /*dp_utilization=*/0.30);
+    };
+    exp::SynthCpResult base = run(exp::Mode::kBaseline);
+    exp::SynthCpResult taichi = run(exp::Mode::kTaiChi);
+    double base_ms = base.exec_time_ms.mean();
+    double taichi_ms = taichi.exec_time_ms.mean();
+    t.AddRow({std::to_string(c), sim::Table::Num(base_ms, 1),
+              sim::Table::Num(taichi_ms, 1),
+              sim::Table::Num(base_ms / taichi_ms, 2) + "x"});
+  }
+  t.Print();
+  std::printf("\npaper: ~4x speedup at 32 concurrent tasks (task demand 50 ms)\n");
+  return 0;
+}

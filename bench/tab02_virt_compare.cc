@@ -1,0 +1,43 @@
+// Table 2: traditional type-1 / type-2 virtualization vs Tai Chi's hybrid
+// virtualization. Static properties come from the architecture; DP
+// performance is measured with the tcp_crr harness of Fig. 12.
+#include "bench/common.h"
+
+using namespace taichi;
+
+namespace {
+
+double MeasureCps(exp::Mode mode) {
+  auto bed = bench::MakeTestbed(mode);
+  bed->SpawnBackgroundCp();
+  bed->sim().RunFor(sim::Millis(2));
+  exp::RrConfig rcfg;
+  rcfg.connections = 256;
+  rcfg.round_trips_per_txn = 3;
+  rcfg.setup_dp_cost_ns = 1500;
+  exp::RrRunner rr(bed.get(), rcfg);
+  return rr.Run(sim::Millis(60), sim::Millis(20)).txn_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 2", "type-1 vs type-2 vs Tai Chi hybrid virtualization");
+
+  double base = MeasureCps(exp::Mode::kBaseline);
+  double type1 = MeasureCps(exp::Mode::kTaiChiVdp);
+  double type2 = MeasureCps(exp::Mode::kType2);
+  double taichi = MeasureCps(exp::Mode::kTaiChi);
+
+  sim::Table t({"Property", "Type-1 (Xen)", "Type-2 (QEMU+KVM)", "Tai Chi"});
+  t.AddRow({"DP residency", "Guest OS", "SmartNIC OS", "SmartNIC OS"});
+  t.AddRow({"DP performance (CPS vs static)", bench::Pct(type1, base),
+            bench::Pct(type2, base), bench::Pct(taichi, base)});
+  t.AddRow({"CP residency (vCPU)", "Guest OS", "Guest OS", "SmartNIC OS"});
+  t.AddRow({"OS count", "1", "2", "1"});
+  t.AddRow({"DP-CP IPC", "Native", "Broken (RPC)", "Native"});
+  t.Print();
+  std::printf("\npaper: type-1 low DP perf (virtualization tax), type-2 medium\n"
+              "(dedicated CPUs + 2us scheduling latency), Tai Chi high (native)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Watch the workload probes adapt (§4.3).
+//
+// Drives phases of contrasting data-plane load against a Tai Chi node and
+// samples the adaptive state: the empty-poll yield threshold N per DP CPU
+// and the per-CPU vCPU time slice. Quiet phases drive N down and slices up
+// (donate aggressively); bursty phases drive N up and slices back to 50 us.
+//
+//   $ ./examples/adaptive_probe_tuning
+#include <cstdio>
+
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+
+using namespace taichi;
+
+namespace {
+
+void SampleState(exp::Testbed& bed, const char* phase) {
+  auto& probe = bed.taichi()->sw_probe();
+  auto& sched = bed.taichi()->scheduler();
+  // DP CPU 0 is representative; all DP CPUs adapt independently.
+  std::printf("%-22s N=%5u  slice=%6s  switches=%6llu  probe-preempts=%6llu  fp-yields=%llu\n",
+              phase, probe.yield_threshold(0),
+              sim::FormatDuration(sched.current_slice(0)).c_str(),
+              static_cast<unsigned long long>(sched.switches()),
+              static_cast<unsigned long long>(sched.probe_preemptions()),
+              static_cast<unsigned long long>(probe.false_positives()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Adaptive workload-probe tuning demo\n\n");
+  exp::TestbedConfig cfg;
+  cfg.mode = exp::Mode::kTaiChi;
+  cfg.seed = 5;
+  // Keep the control plane hungry so every donation opportunity is used.
+  cfg.monitors.count = 12;
+  cfg.monitors.period_mean = sim::Micros(300);
+  cfg.monitors.user_work_mean = sim::Micros(80);
+  exp::Testbed bed(cfg);
+  bed.SpawnBackgroundCp();
+  bed.sim().RunFor(sim::Millis(5));
+  SampleState(bed, "initial");
+
+  // Phase 1: dead-quiet data plane for 200 ms.
+  bed.sim().RunFor(sim::Millis(200));
+  SampleState(bed, "after quiet phase");
+
+  // Phase 2: sustained near-peak traffic for 200 ms.
+  bed.StartBackgroundLoad(bed.RateForUtilization(0.85, 512), 512,
+                          dp::OpenLoopConfig::Process::kPoisson);
+  bed.sim().RunFor(sim::Millis(200));
+  SampleState(bed, "after busy phase");
+  bed.StopBackgroundLoad();
+
+  // Phase 3: quiet again; the probe re-learns idleness.
+  bed.sim().RunFor(sim::Millis(200));
+  SampleState(bed, "quiet again");
+
+  std::printf(
+      "\nThe yield threshold N shrinks under sustained idleness (donate sooner),\n"
+      "grows after false-positive yields (stop thrashing), and the vCPU slice\n"
+      "doubles while the DP stays idle, snapping back to 50 us when the\n"
+      "hardware probe reclaims the CPU (§4.1, §4.3).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The Figure 4 story: why naive co-scheduling of CP tasks with DP services
+// causes millisecond latency spikes, and how Tai Chi's preemptible vCPU
+// contexts eliminate them.
+//
+// Three nodes run the same workload — light ping traffic plus CP tasks that
+// enter multi-millisecond non-preemptible kernel routines (driver spinlock
+// sections):
+//   1. baseline      — static partition, CP never touches DP CPUs (control);
+//   2. naive         — CP tasks co-scheduled onto DP CPUs by the OS;
+//   3. taichi        — CP tasks in vCPUs, preempted at us scale by VM-exits.
+#include <cstdio>
+
+#include "src/cp/cp_profiles.h"
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+#include "src/sim/table.h"
+
+using namespace taichi;
+
+namespace {
+
+sim::Summary RunNode(exp::Mode mode, const char* label) {
+  exp::TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.seed = 11;
+  exp::Testbed bed(cfg);
+
+  // CP tasks with frequent long non-preemptible routines (Fig. 5 mixture,
+  // biased long to make the spike obvious).
+  cp::CpWorkProfile profile;
+  profile.user_compute_mean = sim::Micros(200);
+  profile.short_routine_prob = 0.5;  // Half the routines are 1-67 ms.
+  for (int i = 0; i < 6; ++i) {
+    bed.kernel().Spawn("cp_heavy_" + std::to_string(i),
+                       cp::MakeCpTask(profile, /*iterations=*/0, 400 + i),
+                       bed.cp_task_cpus());
+  }
+  bed.sim().RunFor(sim::Millis(5));
+
+  exp::PingRunner ping(&bed);
+  sim::Summary rtt = ping.Run(1000, sim::Micros(500));
+  std::printf("  %-28s min %6.1f  avg %7.1f  p99 %8.1f  max %9.1f us\n", label,
+              rtt.min(), rtt.mean(), rtt.Percentile(99), rtt.max());
+  return rtt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Latency-spike demo (Fig. 4): ping RTT under CP kernel routines\n\n");
+  sim::Summary base = RunNode(exp::Mode::kBaseline, "static partition (control)");
+  sim::Summary naive = RunNode(exp::Mode::kNaiveCosched, "naive co-scheduling");
+  sim::Summary taichi = RunNode(exp::Mode::kTaiChi, "Tai Chi");
+
+  std::printf(
+      "\nnaive co-scheduling max is %.0fx the baseline max: a CP task inside a\n"
+      "non-preemptible routine holds the DP CPU for milliseconds (T2-T3 in\n"
+      "Fig. 4). Tai Chi stays within %.1fx of baseline because VM-exits split\n"
+      "those routines at microsecond scale.\n",
+      naive.max() / base.max(), taichi.max() / base.max());
+  return 0;
+}

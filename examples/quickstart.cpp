@@ -1,0 +1,69 @@
+// Quickstart: bring up a simulated SmartNIC, install Tai Chi, run mixed
+// data-plane traffic and control-plane work, and print what the framework
+// did. Start here to learn the public API.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+#include "src/sim/table.h"
+
+using namespace taichi;
+
+int main() {
+  std::printf("Tai Chi quickstart: 12-CPU SmartNIC, 8 DP + 4 CP, 8 vCPUs\n\n");
+
+  // 1. Build the node. Mode::kTaiChi assembles the machine (CPUs, APIC,
+  //    programmable accelerator with the hardware workload probe), the
+  //    SmartNIC OS, the poll-mode DP services, and the Tai Chi framework:
+  //    vCPU pool + unified IPI orchestrator + vCPU scheduler + software
+  //    workload probe.
+  exp::TestbedConfig cfg;
+  cfg.mode = exp::Mode::kTaiChi;
+  cfg.seed = 7;
+  exp::Testbed bed(cfg);
+
+  std::printf("CPUs: %d total, DP pCPUs %s, CP pCPUs %s\n", bed.kernel().num_cpus(),
+              bed.dp_cpu_set().ToString().c_str(), bed.cp_pcpu_set().ToString().c_str());
+  std::printf("CP tasks are affined to %s (vCPUs registered as native CPUs)\n\n",
+              bed.cp_task_cpus().ToString().c_str());
+
+  // 2. Background: bursty production-like DP traffic at ~25% average
+  //    utilization plus the standard CP monitor fleet.
+  bed.StartBackgroundBurstyLoad(0.25, 512);
+  bed.SpawnBackgroundCp();
+  bed.sim().RunFor(sim::Millis(50));
+
+  // 3. Launch a burst of control-plane work: 12 concurrent 50 ms tasks that
+  //    enter non-preemptible kernel routines, like real device management.
+  cp::SynthCpBenchmark synth(&bed.kernel(), cp::SynthCpConfig{}, 99);
+  synth.Launch(12, bed.cp_task_cpus());
+
+  // 4. Meanwhile, verify data-plane latency with a ping probe.
+  exp::PingRunner ping(&bed);
+  sim::Summary rtt = ping.Run(500, sim::Millis(1));
+
+  while (!synth.AllDone()) {
+    bed.sim().RunFor(sim::Millis(10));
+  }
+
+  // 5. Report.
+  sim::Table t({"Metric", "Value"});
+  t.AddRow({"CP tasks completed", std::to_string(synth.done())});
+  t.AddRow({"CP avg execution", sim::Table::Num(synth.exec_time_ms().mean(), 1) + " ms"});
+  t.AddRow({"ping RTT avg / max",
+            sim::Table::Num(rtt.mean(), 1) + " / " + sim::Table::Num(rtt.max(), 1) + " us"});
+  const auto& sched = bed.taichi()->scheduler();
+  t.AddRow({"pCPU->vCPU switches", std::to_string(sched.switches())});
+  t.AddRow({"HW-probe preemptions", std::to_string(sched.probe_preemptions())});
+  t.AddRow({"slice-expiry exits", std::to_string(sched.slice_expirations())});
+  t.AddRow({"lock-context rescues", std::to_string(sched.lock_rescues())});
+  t.AddRow({"IPIs routed by orchestrator", std::to_string(bed.taichi()->orchestrator().routed())});
+  t.Print();
+
+  std::printf(
+      "\nIdle DP cycles ran the CP burst on vCPUs while the hardware probe kept\n"
+      "ping latency at baseline levels — the Tai Chi trade in one run.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// MySQL-through-the-SmartNIC workload model (§6.5).
+//
+// 192 sysbench threads drive a closed loop against a MySQL server in the
+// host VM. Each query crosses the SmartNIC data plane twice (request and
+// result set), optionally touches storage through the DP, and spends a
+// calibrated compute delay inside the VM (which the SmartNIC scheduler
+// cannot influence — see DESIGN.md "Known deviations"). Metrics mirror the
+// paper: average and peak queries/transactions per second.
+#ifndef SRC_APPS_MYSQL_SIM_H_
+#define SRC_APPS_MYSQL_SIM_H_
+
+#include "src/exp/testbed.h"
+#include "src/sim/stats.h"
+
+namespace taichi::apps {
+
+struct MysqlConfig {
+  int threads = 192;  // sysbench thread count (§6.1).
+  uint32_t request_bytes = 128;
+  uint32_t response_bytes = 1024;
+  sim::Duration server_compute_mean = sim::Micros(250);
+  double storage_io_prob = 0.30;  // Fraction of queries touching disk.
+  sim::Duration backend_latency = sim::Micros(70);
+  int queries_per_transaction = 20;  // sysbench OLTP mix.
+  // Window for the max_/avg_ per-second style statistics.
+  sim::Duration sample_window = sim::Millis(20);
+};
+
+struct MysqlResult {
+  double avg_qps = 0;
+  double max_qps = 0;
+  double avg_tps = 0;
+  double max_tps = 0;
+  sim::Summary query_latency_us;
+};
+
+class MysqlSim {
+ public:
+  MysqlSim(exp::Testbed* bed, MysqlConfig config, uint16_t owner = 20);
+  MysqlResult Run(sim::Duration duration, sim::Duration warmup);
+
+ private:
+  void SendQuery(uint64_t thread);
+  void FinishServerSide(uint64_t thread);
+
+  exp::Testbed* bed_;
+  MysqlConfig config_;
+  uint16_t owner_;
+  std::vector<sim::SimTime> issued_;
+  sim::Rng rng_{0};
+  bool counting_ = false;
+  uint64_t queries_ = 0;
+  std::vector<uint64_t> window_counts_;
+  sim::SimTime window_start_ = 0;
+  uint64_t window_queries_ = 0;
+  sim::Summary query_latency_us_;
+};
+
+}  // namespace taichi::apps
+
+#endif  // SRC_APPS_MYSQL_SIM_H_

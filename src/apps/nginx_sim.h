@@ -1,0 +1,55 @@
+// Nginx-through-the-SmartNIC workload model (§6.5): wrk clients drive HTTP
+// and HTTPS requests against an Nginx server in the host VM under high
+// connection concurrency, in both keep-alive ("long") and
+// connection-per-request ("short") regimes.
+#ifndef SRC_APPS_NGINX_SIM_H_
+#define SRC_APPS_NGINX_SIM_H_
+
+#include "src/exp/testbed.h"
+#include "src/sim/stats.h"
+
+namespace taichi::apps {
+
+struct NginxConfig {
+  // Concurrent client connections. The paper uses 10,000; the simulation
+  // default is scaled down (relative comparisons are concurrency-invariant
+  // once the data plane saturates — see EXPERIMENTS.md).
+  int connections = 1000;
+  bool https = false;
+  bool short_connection = false;  // New connection per request.
+  uint32_t request_bytes = 256;
+  uint32_t response_bytes = 4096;
+  sim::Duration server_compute = sim::Micros(30);
+  sim::Duration tls_handshake_compute = sim::Micros(150);
+  uint32_t conn_setup_dp_cost_ns = 1200;  // Flow-table install in the DP.
+};
+
+struct NginxResult {
+  double requests_per_sec = 0;
+  sim::Summary request_latency_us;
+};
+
+class NginxSim {
+ public:
+  NginxSim(exp::Testbed* bed, NginxConfig config, uint16_t owner = 21);
+  ~NginxSim();
+  NginxResult Run(sim::Duration duration, sim::Duration warmup);
+
+ private:
+  struct Conn;
+  void StartCycle(Conn& conn);
+  void SendPacket(Conn& conn, bool setup);
+
+  exp::Testbed* bed_;
+  NginxConfig config_;
+  uint16_t owner_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  sim::Rng rng_{0};
+  bool counting_ = false;
+  uint64_t requests_ = 0;
+  sim::Summary request_latency_us_;
+};
+
+}  // namespace taichi::apps
+
+#endif  // SRC_APPS_NGINX_SIM_H_

@@ -1,0 +1,61 @@
+#include "src/cp/cp_profiles.h"
+
+namespace taichi::cp {
+
+sim::Duration SampleRoutineDuration(const CpWorkProfile& profile, sim::Rng& rng) {
+  if (rng.Bernoulli(profile.short_routine_prob)) {
+    return rng.UniformDuration(profile.short_min, profile.short_max);
+  }
+  double ms = rng.BoundedPareto(sim::ToMillis(profile.long_min),
+                                sim::ToMillis(profile.long_max), profile.long_alpha);
+  return sim::MillisF(ms);
+}
+
+os::Action CpTaskBehavior::Next(os::Kernel& /*kernel*/, os::Task& /*task*/,
+                                const os::ActionResult& /*last*/) {
+  switch (phase_) {
+    case Phase::kUser: {
+      // Decide this iteration's syscall up front.
+      if (rng_.Bernoulli(profile_.syscall_prob)) {
+        routine_len_ = SampleRoutineDuration(profile_, rng_);
+        locked_routine_ = profile_.lock != nullptr && rng_.Bernoulli(profile_.lock_prob);
+        phase_ = locked_routine_ ? Phase::kLockAcquire : Phase::kRoutine;
+      } else {
+        routine_len_ = 0;
+        phase_ = Phase::kSleep;
+      }
+      return os::Action::Compute(rng_.ExpDuration(profile_.user_compute_mean));
+    }
+    case Phase::kLockAcquire:
+      phase_ = Phase::kRoutine;
+      return os::Action::LockAcquire(profile_.lock);
+    case Phase::kRoutine:
+      phase_ = locked_routine_ ? Phase::kLockRelease : Phase::kSleep;
+      return os::Action::KernelSection(routine_len_);
+    case Phase::kLockRelease:
+      phase_ = Phase::kSleep;
+      return os::Action::LockRelease(profile_.lock);
+    case Phase::kSleep: {
+      ++completed_;
+      if (iterations_ != 0 && completed_ >= iterations_) {
+        phase_ = Phase::kDone;
+        return os::Action::Exit();
+      }
+      phase_ = Phase::kUser;
+      if (profile_.sleep_mean > 0) {
+        return os::Action::Sleep(rng_.ExpDuration(profile_.sleep_mean));
+      }
+      return os::Action::Yield();  // Fair sharing between iterations.
+    }
+    case Phase::kDone:
+      return os::Action::Exit();
+  }
+  return os::Action::Exit();
+}
+
+std::unique_ptr<CpTaskBehavior> MakeCpTask(const CpWorkProfile& profile, uint64_t iterations,
+                                           uint64_t seed) {
+  return std::make_unique<CpTaskBehavior>(profile, iterations, seed);
+}
+
+}  // namespace taichi::cp

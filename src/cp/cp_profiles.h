@@ -1,0 +1,78 @@
+// Control-plane task behaviors.
+//
+// Production CP tasks (§2.3/§3.2) interleave user-space computation with
+// syscalls that enter ms-scale non-preemptible kernel routines, frequently
+// under driver spinlocks. The routine-duration sampler reproduces the Fig. 5
+// shape: most long routines fall in the 1-5 ms band (94.5% of >1 ms
+// occurrences) with a heavy tail out to ~67 ms.
+#ifndef SRC_CP_CP_PROFILES_H_
+#define SRC_CP_CP_PROFILES_H_
+
+#include <memory>
+
+#include "src/os/behaviors.h"
+#include "src/os/spinlock.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace taichi::cp {
+
+struct CpWorkProfile {
+  // Per-iteration user-space compute (exponential around the mean).
+  sim::Duration user_compute_mean = sim::Micros(400);
+
+  // Probability that an iteration performs a syscall entering a
+  // non-preemptible kernel routine.
+  double syscall_prob = 1.0;
+
+  // Routine duration mixture: with `short_routine_prob` a short routine
+  // (uniform [short_min, short_max]); otherwise a long one drawn from a
+  // bounded Pareto over [long_min, long_max] with tail index `long_alpha`.
+  // alpha = 1.8 gives P(>5ms | >1ms) ~ 5.5%, matching Fig. 5.
+  double short_routine_prob = 0.90;
+  sim::Duration short_min = sim::Micros(5);
+  sim::Duration short_max = sim::Micros(400);
+  sim::Duration long_min = sim::Millis(1);
+  sim::Duration long_max = sim::Millis(67);
+  double long_alpha = 1.8;
+
+  // Probability that a kernel routine runs under the shared driver lock.
+  double lock_prob = 0.35;
+  os::KernelSpinlock* lock = nullptr;
+
+  // Optional inter-iteration sleep (0 = none); used by monitors.
+  sim::Duration sleep_mean = 0;
+};
+
+// Samples one kernel-routine duration from the Fig. 5 mixture.
+sim::Duration SampleRoutineDuration(const CpWorkProfile& profile, sim::Rng& rng);
+
+// A CP task running `iterations` iterations of the profile (0 = forever).
+class CpTaskBehavior : public os::Behavior {
+ public:
+  CpTaskBehavior(CpWorkProfile profile, uint64_t iterations, uint64_t seed)
+      : profile_(profile), iterations_(iterations), rng_(seed) {}
+
+  os::Action Next(os::Kernel& kernel, os::Task& task, const os::ActionResult& last) override;
+
+  uint64_t completed_iterations() const { return completed_; }
+
+ private:
+  enum class Phase : uint8_t { kUser, kLockAcquire, kRoutine, kLockRelease, kSleep, kDone };
+
+  CpWorkProfile profile_;
+  uint64_t iterations_;
+  sim::Rng rng_;
+  uint64_t completed_ = 0;
+  Phase phase_ = Phase::kUser;
+  bool locked_routine_ = false;
+  sim::Duration routine_len_ = 0;
+};
+
+// Convenience factory.
+std::unique_ptr<CpTaskBehavior> MakeCpTask(const CpWorkProfile& profile, uint64_t iterations,
+                                           uint64_t seed);
+
+}  // namespace taichi::cp
+
+#endif  // SRC_CP_CP_PROFILES_H_

@@ -1,0 +1,97 @@
+#include "src/cp/device_manager.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::cp {
+
+DeviceManager::DeviceManager(os::Kernel* kernel, VmStartupConfig config, uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed) {
+  for (int i = 0; i < std::max(1, config_.lock_shards); ++i) {
+    driver_locks_.push_back(
+        std::make_unique<os::KernelSpinlock>("driver_lock_" + std::to_string(i)));
+  }
+}
+
+os::KernelSpinlock& DeviceManager::driver_lock(int device_index) {
+  return *driver_locks_[device_index % driver_locks_.size()];
+}
+
+class DeviceManager::Workflow : public os::Behavior {
+ public:
+  Workflow(DeviceManager* parent, uint64_t seed,
+           std::function<void(sim::Duration)> done)
+      : parent_(parent), rng_(seed), done_(std::move(done)) {}
+
+  os::Action Next(os::Kernel& kernel, os::Task& task, const os::ActionResult&) override {
+    const VmStartupConfig& cfg = parent_->config_;
+    switch (phase_) {
+      case Phase::kParse:
+        start_ = task.spawned_at();
+        phase_ = Phase::kDevUser;
+        return os::Action::Compute(cfg.parse_cost);
+      case Phase::kDevUser:
+        if (device_ >= cfg.devices_per_vm) {
+          phase_ = Phase::kNotify;
+          return os::Action::Compute(cfg.qemu_notify_cost + cfg.ipc_penalty);
+        }
+        phase_ = Phase::kDevLock;
+        return os::Action::Compute(cfg.dev_user_cost);
+      case Phase::kDevLock:
+        phase_ = Phase::kDevKernel;
+        return os::Action::LockAcquire(&parent_->driver_lock(device_));
+      case Phase::kDevKernel:
+        phase_ = Phase::kDevUnlock;
+        return os::Action::KernelSection(
+            rng_.UniformDuration(cfg.dev_kernel_min, cfg.dev_kernel_max));
+      case Phase::kDevUnlock:
+        phase_ = Phase::kDpCoord;
+        return os::Action::LockRelease(&parent_->driver_lock(device_));
+      case Phase::kDpCoord:
+        ++device_;
+        phase_ = Phase::kDevUser;
+        // Queue/ring setup handshake with the data-plane service.
+        return os::Action::Compute(cfg.dp_coord_cost + cfg.ipc_penalty);
+      case Phase::kNotify: {
+        sim::Duration latency = kernel.sim().Now() - start_;
+        parent_->startup_ms_.Add(sim::ToMillis(latency));
+        ++parent_->completed_;
+        if (done_) {
+          done_(latency);
+        }
+        return os::Action::Exit();
+      }
+    }
+    return os::Action::Exit();
+  }
+
+ private:
+  enum class Phase : uint8_t {
+    kParse,
+    kDevUser,
+    kDevLock,
+    kDevKernel,
+    kDevUnlock,
+    kDpCoord,
+    kNotify,
+  };
+
+  DeviceManager* parent_;
+  sim::Rng rng_;
+  std::function<void(sim::Duration)> done_;
+  sim::SimTime start_ = 0;
+  int device_ = 0;
+  Phase phase_ = Phase::kParse;
+};
+
+void DeviceManager::StartVm(os::CpuSet cpus, std::function<void(sim::Duration)> done) {
+  ++started_;
+  auto workflow = std::make_unique<Workflow>(this, rng_.Next(), std::move(done));
+  kernel_->Spawn("vm_startup_" + std::to_string(started_), std::move(workflow), cpus,
+                 os::Priority::kNormal);
+}
+
+}  // namespace taichi::cp

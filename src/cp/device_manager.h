@@ -1,0 +1,73 @@
+// Device-management CP tasks and the VM startup workflow (§2.3, red path of
+// Fig. 1c): cluster manager command -> parse -> per-device initialization
+// under driver locks (non-preemptible kernel routines) -> coordinate with
+// the data plane -> notify QEMU. VM startup latency is dominated by this
+// workflow, which is why it is the paper's headline control-plane SLO.
+#ifndef SRC_CP_DEVICE_MANAGER_H_
+#define SRC_CP_DEVICE_MANAGER_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/os/kernel.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+
+namespace taichi::cp {
+
+struct VmStartupConfig {
+  // Devices provisioned per VM: NIC queues + block devices (Table 4 lists
+  // one dual-queue virtio-net and four virtio-blk). Scaled by instance
+  // density in the density experiments.
+  int devices_per_vm = 6;
+  sim::Duration parse_cost = sim::Micros(800);
+  // Per-device init: user-space preparation plus a kernel routine under the
+  // per-device-class driver lock.
+  sim::Duration dev_user_cost = sim::Millis(1);
+  sim::Duration dev_kernel_min = sim::Micros(200);
+  sim::Duration dev_kernel_max = sim::Micros(600);
+  // Driver locks are sharded by device class (virtio-net queues, virtio-blk
+  // devices, ...): concurrent startups contend within a class only.
+  int lock_shards = 4;
+  // Data-plane coordination per device (ring/queue setup handshake).
+  sim::Duration dp_coord_cost = sim::Micros(120);
+  // Final QEMU notification (host IPC).
+  sim::Duration qemu_notify_cost = sim::Micros(200);
+  // Extra per-interaction penalty when DP-CP IPC is broken (type-2: every
+  // native IPC becomes an RPC through the guest boundary).
+  sim::Duration ipc_penalty = 0;
+};
+
+// Spawns VM-startup workflows and records their completion latency.
+class DeviceManager {
+ public:
+  DeviceManager(os::Kernel* kernel, VmStartupConfig config, uint64_t seed);
+
+  // Starts one VM-creation workflow on `cpus`. `done` (optional) fires with
+  // the startup latency when the workflow completes.
+  void StartVm(os::CpuSet cpus, std::function<void(sim::Duration)> done = nullptr);
+
+  int started() const { return started_; }
+  int completed() const { return completed_; }
+  bool AllDone() const { return started_ == completed_; }
+  // VM startup latencies, in milliseconds (Fig. 2 / Fig. 17 metric).
+  const sim::Summary& startup_ms() const { return startup_ms_; }
+
+  os::KernelSpinlock& driver_lock(int device_index);
+  const VmStartupConfig& config() const { return config_; }
+
+ private:
+  class Workflow;
+
+  os::Kernel* kernel_;
+  VmStartupConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<os::KernelSpinlock>> driver_locks_;
+  int started_ = 0;
+  int completed_ = 0;
+  sim::Summary startup_ms_;
+};
+
+}  // namespace taichi::cp
+
+#endif  // SRC_CP_DEVICE_MANAGER_H_

@@ -1,0 +1,31 @@
+#include "src/cp/monitor.h"
+
+#include <string>
+
+namespace taichi::cp {
+
+std::vector<os::Task*> SpawnMonitorFleet(os::Kernel* kernel, const MonitorFleetConfig& config,
+                                         os::CpuSet cpus, os::KernelSpinlock* shared_lock,
+                                         uint64_t seed) {
+  std::vector<os::Task*> tasks;
+  for (int i = 0; i < config.count; ++i) {
+    CpWorkProfile profile;
+    profile.user_compute_mean = config.user_work_mean;
+    profile.syscall_prob = 1.0;
+    profile.short_routine_prob = 1.0 - config.long_routine_prob;
+    profile.short_min = sim::Micros(3);
+    profile.short_max = sim::Micros(50);
+    profile.long_min = sim::Millis(1);
+    profile.long_max = sim::Millis(15);
+    profile.long_alpha = 1.8;
+    profile.lock = shared_lock;
+    profile.lock_prob = shared_lock != nullptr ? 0.2 : 0.0;
+    profile.sleep_mean = config.period_mean;
+    tasks.push_back(kernel->Spawn("monitor_" + std::to_string(i),
+                                  MakeCpTask(profile, /*iterations=*/0, seed + i), cpus,
+                                  os::Priority::kNormal));
+  }
+  return tasks;
+}
+
+}  // namespace taichi::cp

@@ -1,0 +1,32 @@
+// Background control-plane load: performance monitors and CSP orchestration
+// agents (§2.3) that periodically wake, collect metrics, write logs (kernel
+// routines) and go back to sleep. These provide the steady CP load present
+// on every production SmartNIC.
+#ifndef SRC_CP_MONITOR_H_
+#define SRC_CP_MONITOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cp/cp_profiles.h"
+#include "src/os/kernel.h"
+
+namespace taichi::cp {
+
+struct MonitorFleetConfig {
+  int count = 6;
+  // Wake period per monitor.
+  sim::Duration period_mean = sim::Millis(5);
+  // Work per wake: metric collection (user) + log flush (kernel routine).
+  sim::Duration user_work_mean = sim::Micros(60);
+  double long_routine_prob = 0.02;  // Occasional ms-scale log rotation/flush.
+};
+
+// Spawns `count` monitor tasks on `cpus`. Returns the spawned tasks.
+std::vector<os::Task*> SpawnMonitorFleet(os::Kernel* kernel, const MonitorFleetConfig& config,
+                                         os::CpuSet cpus, os::KernelSpinlock* shared_lock,
+                                         uint64_t seed);
+
+}  // namespace taichi::cp
+
+#endif  // SRC_CP_MONITOR_H_

@@ -1,0 +1,81 @@
+#include "src/cp/synth_cp.h"
+
+#include <string>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::cp {
+
+// One synth_cp task: `iterations` rounds of user compute + kernel routine,
+// sized so total demand matches the configuration.
+class SynthCpBenchmark::TaskBody : public os::Behavior {
+ public:
+  TaskBody(SynthCpBenchmark* parent, uint64_t seed) : parent_(parent), rng_(seed) {
+    const SynthCpConfig& cfg = parent_->config_;
+    per_iter_ = cfg.task_demand / cfg.iterations;
+    kernel_part_ = static_cast<sim::Duration>(per_iter_ * cfg.kernel_fraction);
+    user_part_ = per_iter_ - kernel_part_;
+  }
+
+  os::Action Next(os::Kernel&, os::Task&, const os::ActionResult&) override {
+    const SynthCpConfig& cfg = parent_->config_;
+    switch (phase_) {
+      case Phase::kUser:
+        if (iter_ >= cfg.iterations) {
+          return os::Action::Exit();
+        }
+        locked_ = rng_.Bernoulli(cfg.lock_prob);
+        phase_ = locked_ ? Phase::kLock : Phase::kRoutine;
+        // Jitter the split a little so tasks do not run in lockstep.
+        return os::Action::Compute(rng_.UniformDuration(user_part_ * 9 / 10,
+                                                        user_part_ * 11 / 10));
+      case Phase::kLock:
+        phase_ = Phase::kRoutine;
+        return os::Action::LockAcquire(&parent_->driver_lock_);
+      case Phase::kRoutine:
+        phase_ = locked_ ? Phase::kUnlock : Phase::kNextIter;
+        return os::Action::KernelSection(kernel_part_);
+      case Phase::kUnlock:
+        phase_ = Phase::kNextIter;
+        return os::Action::LockRelease(&parent_->driver_lock_);
+      case Phase::kNextIter:
+        ++iter_;
+        phase_ = Phase::kUser;
+        return os::Action::Yield();
+    }
+    return os::Action::Exit();
+  }
+
+ private:
+  enum class Phase : uint8_t { kUser, kLock, kRoutine, kUnlock, kNextIter };
+
+  SynthCpBenchmark* parent_;
+  sim::Rng rng_;
+  sim::Duration per_iter_ = 0;
+  sim::Duration kernel_part_ = 0;
+  sim::Duration user_part_ = 0;
+  int iter_ = 0;
+  bool locked_ = false;
+  Phase phase_ = Phase::kUser;
+};
+
+void SynthCpBenchmark::Launch(int concurrency, os::CpuSet cpus) {
+  for (int i = 0; i < concurrency; ++i) {
+    ++launched_;
+    auto body = std::make_unique<TaskBody>(this, seed_ + launched_);
+    os::Task* task = kernel_->Spawn("synth_cp_" + std::to_string(launched_), std::move(body),
+                                    cpus, os::Priority::kNormal);
+    (void)task;
+  }
+  // Completion is observed through the kernel's task-exit handler, which the
+  // caller must chain to RecordExit; to keep the benchmark self-contained we
+  // install it here (overwriting any previous handler).
+  kernel_->set_task_exit_handler([this](os::Task& t) {
+    if (t.name().rfind("synth_cp_", 0) == 0) {
+      ++done_;
+      exec_time_ms_.Add(sim::ToMillis(t.exited_at() - t.spawned_at()));
+    }
+  });
+}
+
+}  // namespace taichi::cp

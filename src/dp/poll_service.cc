@@ -1,0 +1,148 @@
+#include "src/dp/poll_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+
+namespace taichi::dp {
+
+void PollService::AttachRing(hw::DescriptorRing* ring) {
+  rings_.push_back(ring);
+  ring->set_watcher([this] {
+    if (kernel_ != nullptr && task_ != nullptr) {
+      kernel_->KickTask(task_);
+    }
+  });
+}
+
+void PollService::BindTask(os::Kernel* kernel, os::Task* task) {
+  kernel_ = kernel;
+  task_ = task;
+  last_guest_lent_ = kernel_->GetAccounting(cpu_).guest_lent;
+}
+
+void PollService::AttachTaiChiProbe(core::SwWorkloadProbe* probe) {
+  probe_ = probe;
+  policy_ = YieldPolicy::kTaiChi;
+  probe_->RegisterDpService(cpu_, [this] { return IsIdle(); });
+}
+
+bool PollService::IsIdle() const {
+  for (const hw::DescriptorRing* ring : rings_) {
+    if (!ring->empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Duration PollService::BatchCost(const std::vector<hw::IoPacket>& batch,
+                                     sim::SimTime now) {
+  double base_ns = 0;
+  for (const hw::IoPacket& pkt : batch) {
+    sim::Duration kind_base = pkt.kind == hw::IoKind::kBlockIo
+                                  ? config_.per_block_io_base_cost
+                                  : config_.per_packet_base_cost;
+    base_ns += static_cast<double>(kind_base) + static_cast<double>(pkt.dp_cost_hint) +
+               static_cast<double>(pkt.size_bytes) * config_.ns_per_byte;
+    queue_delay_us_.Add(sim::ToMicros(now - pkt.ring_push));
+  }
+  base_ns *= 1.0 + config_.virt_work_tax;
+
+  // Cache/TLB pollution surcharge after displacement.
+  double extra_ns = 0;
+  if (pollution_remaining_ > 0) {
+    double charged = std::min(base_ns, static_cast<double>(pollution_remaining_));
+    extra_ns = charged * pollution_credit_;
+    pollution_remaining_ -= static_cast<sim::Duration>(
+        std::min(base_ns, static_cast<double>(pollution_remaining_)));
+  }
+  return static_cast<sim::Duration>(base_ns + extra_ns);
+}
+
+void PollService::OnScheduledIn(os::Kernel& /*kernel*/, os::Task& /*task*/) {
+  // Another task ran on our CPU (naive co-scheduling or shared-CPU setups):
+  // the working set is cold.
+  if (dispatched_once_) {
+    pollution_credit_ = config_.pollution_max_factor;
+    pollution_remaining_ = config_.pollution_decay;
+  }
+  dispatched_once_ = true;
+}
+
+os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
+                             const os::ActionResult& last) {
+  const sim::SimTime now = kernel.sim().Now();
+
+  // Detect displacement by a vCPU since the last poll iteration.
+  sim::Duration lent = kernel.GetAccounting(cpu_).guest_lent;
+  if (lent > last_guest_lent_) {
+    pollution_credit_ = config_.pollution_max_factor;
+    pollution_remaining_ = config_.pollution_decay;
+    last_guest_lent_ = lent;
+  }
+
+  // Deliver the batch whose processing just completed.
+  if (!inflight_.empty() && last.type == os::Action::Type::kCompute) {
+    for (const hw::IoPacket& pkt : inflight_) {
+      ++packets_processed_;
+      bytes_processed_ += pkt.size_bytes;
+      if (sink_) {
+        sink_(pkt, now);
+      }
+    }
+    inflight_.clear();
+  }
+
+  // Gather the next burst across rings (rte_eth_rx_burst).
+  std::vector<hw::IoPacket> batch;
+  for (hw::DescriptorRing* ring : rings_) {
+    if (batch.size() >= config_.burst_size) {
+      break;
+    }
+    ring->PopBurst(config_.burst_size - batch.size(), std::back_inserter(batch));
+  }
+
+  if (!batch.empty()) {
+    counting_done_ = false;
+    sim::Duration cost = BatchCost(batch, now);
+    work_time_ += cost;
+    inflight_ = std::move(batch);
+    return os::Action::Compute(cost);
+  }
+
+  // Ring empty: idle handling per policy (lines 6-14 of Fig. 9).
+  switch (policy_) {
+    case YieldPolicy::kBusyPoll:
+      return os::Action::BusyPoll(0);  // Poll forever; ring pushes kick us.
+
+    case YieldPolicy::kBlockOnIdle:
+      if (last.type == os::Action::Type::kBusyPoll && last.busy_poll_timeout) {
+        ++yields_;
+        return os::Action::Block();  // Interrupt-mode idle; push wakes us.
+      }
+      return os::Action::BusyPoll(static_cast<sim::Duration>(config_.block_threshold) *
+                                  config_.empty_poll_cost);
+
+    case YieldPolicy::kTaiChi: {
+      assert(probe_ != nullptr && "kTaiChi policy requires AttachTaiChiProbe");
+      if (last.type == os::Action::Type::kBusyPoll && last.busy_poll_timeout &&
+          !counting_done_) {
+        // empty_polling_num exceeded the adaptive threshold: notify Tai Chi
+        // (Fig. 9 line 14). The vCPU switch softirq will take the CPU from
+        // inside the unbounded poll below.
+        counting_done_ = true;
+        ++yields_;
+        probe_->NotifyIdleDpCpuCycles(cpu_);
+        return os::Action::BusyPoll(0);
+      }
+      counting_done_ = false;
+      uint32_t threshold = probe_->yield_threshold(cpu_);
+      return os::Action::BusyPoll(static_cast<sim::Duration>(threshold) *
+                                  config_.empty_poll_cost);
+    }
+  }
+  return os::Action::BusyPoll(0);
+}
+
+}  // namespace taichi::dp

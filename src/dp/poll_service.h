@@ -1,0 +1,117 @@
+// A poll-mode data-plane service (DPDK/SPDK style).
+//
+// The service busy-polls its descriptor rings (rte_eth_rx_burst model),
+// processes bursts with a calibrated per-packet cost, and — depending on the
+// yield policy — either polls forever (static partitioning baseline), blocks
+// when idle (naive co-scheduling), or reports idle cycles to Tai Chi's
+// software workload probe exactly as the Fig. 9 loop does.
+#ifndef SRC_DP_POLL_SERVICE_H_
+#define SRC_DP_POLL_SERVICE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/hw/io_packet.h"
+#include "src/hw/ring.h"
+#include "src/os/behaviors.h"
+#include "src/os/kernel.h"
+#include "src/sim/stats.h"
+#include "src/taichi/sw_probe.h"
+
+namespace taichi::dp {
+
+enum class YieldPolicy : uint8_t {
+  kBusyPoll,     // Never yields: the production static-partition baseline.
+  kBlockOnIdle,  // Sleeps on idle, woken by ring pushes: naive co-scheduling.
+  kTaiChi,       // notify_idle_DP_CPU_cycles() after N empty polls (Fig. 9).
+};
+
+struct PollServiceConfig {
+  sim::Duration empty_poll_cost = sim::Nanos(80);
+  sim::Duration per_packet_base_cost = sim::Nanos(900);
+  sim::Duration per_block_io_base_cost = sim::Micros(2);  // SPDK-style 4 KB op.
+  double ns_per_byte = 0.05;  // Payload-proportional processing.
+  uint32_t burst_size = 32;
+
+  // Type-1 virtualization tax (Tai Chi-vDP): multiplies all DP work.
+  double virt_work_tax = 0.0;
+
+  // Cache/TLB pollution model (§6.5): after the CPU was taken away for at
+  // least `pollution_gap_threshold`, the next `pollution_decay` worth of
+  // work costs up to `pollution_max_factor` extra, decaying linearly.
+  sim::Duration pollution_gap_threshold = sim::Micros(5);
+  double pollution_max_factor = 0.35;
+  sim::Duration pollution_decay = sim::Micros(40);
+
+  // Empty polls before blocking under kBlockOnIdle.
+  uint32_t block_threshold = 256;
+};
+
+class PollService : public os::Behavior {
+ public:
+  // Called for every processed packet when its burst finishes.
+  using Sink = std::function<void(const hw::IoPacket&, sim::SimTime completed)>;
+
+  PollService(os::CpuId cpu, PollServiceConfig config, YieldPolicy policy)
+      : cpu_(cpu), config_(config), policy_(policy) {}
+
+  os::CpuId cpu() const { return cpu_; }
+  YieldPolicy policy() const { return policy_; }
+  void set_policy(YieldPolicy policy) { policy_ = policy; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Attaches a descriptor ring; pushes kick the service out of idle.
+  void AttachRing(hw::DescriptorRing* ring);
+
+  // Must be called once after the service task is spawned.
+  void BindTask(os::Kernel* kernel, os::Task* task);
+  os::Task* task() const { return task_; }
+
+  // Registers with Tai Chi's software probe and switches to kTaiChi policy.
+  void AttachTaiChiProbe(core::SwWorkloadProbe* probe);
+
+  // True when every attached ring is empty.
+  bool IsIdle() const;
+
+  // os::Behavior:
+  os::Action Next(os::Kernel& kernel, os::Task& task, const os::ActionResult& last) override;
+  void OnScheduledIn(os::Kernel& kernel, os::Task& task) override;
+
+  // --- Statistics ---
+  uint64_t packets_processed() const { return packets_processed_; }
+  uint64_t bytes_processed() const { return bytes_processed_; }
+  sim::Duration work_time() const { return work_time_; }  // Useful work only.
+  uint64_t yields() const { return yields_; }
+  // Time a descriptor sat in the ring before the service picked it up — the
+  // latency-spike signal (queue delay includes any vCPU displacement).
+  const sim::Summary& queue_delay_us() const { return queue_delay_us_; }
+
+ private:
+  sim::Duration BatchCost(const std::vector<hw::IoPacket>& batch, sim::SimTime now);
+
+  os::CpuId cpu_;
+  PollServiceConfig config_;
+  YieldPolicy policy_;
+  Sink sink_;
+  std::vector<hw::DescriptorRing*> rings_;
+  os::Kernel* kernel_ = nullptr;
+  os::Task* task_ = nullptr;
+  core::SwWorkloadProbe* probe_ = nullptr;
+
+  std::vector<hw::IoPacket> inflight_;
+  bool counting_done_ = false;  // Finished an empty-poll counting window.
+  bool dispatched_once_ = false;
+  sim::Duration last_guest_lent_ = 0;
+  double pollution_credit_ = 0;
+  sim::Duration pollution_remaining_ = 0;
+
+  uint64_t packets_processed_ = 0;
+  uint64_t bytes_processed_ = 0;
+  sim::Duration work_time_ = 0;
+  uint64_t yields_ = 0;
+  sim::Summary queue_delay_us_;
+};
+
+}  // namespace taichi::dp
+
+#endif  // SRC_DP_POLL_SERVICE_H_

@@ -1,0 +1,70 @@
+#include "src/dp/sources.h"
+
+#include <algorithm>
+
+namespace taichi::dp {
+
+OpenLoopSource::OpenLoopSource(sim::Simulation* sim, hw::Accelerator* accel, uint32_t queue,
+                               OpenLoopConfig config, uint64_t seed)
+    : sim_(sim), accel_(accel), queue_(queue), config_(config), rng_(seed) {}
+
+void OpenLoopSource::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (config_.process == OpenLoopConfig::Process::kMmpp) {
+    burst_state_ = false;
+    state_until_ = sim_->Now() + rng_.ExpDuration(config_.calm_mean);
+  }
+  ScheduleNext();
+}
+
+double OpenLoopSource::CurrentRate() const {
+  if (config_.process == OpenLoopConfig::Process::kMmpp && burst_state_) {
+    return config_.rate_pps * config_.burst_multiplier;
+  }
+  return config_.rate_pps;
+}
+
+void OpenLoopSource::ScheduleNext() {
+  if (!running_ || CurrentRate() <= 0) {
+    return;
+  }
+  double gap_ns = 1e9 / CurrentRate();
+  sim::Duration delay;
+  if (config_.process == OpenLoopConfig::Process::kConstant) {
+    delay = std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns));
+  } else {
+    delay = rng_.ExpDuration(std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns)));
+  }
+  sim_->Schedule(delay, [this] {
+    if (!running_) {
+      return;
+    }
+    if (config_.process == OpenLoopConfig::Process::kMmpp && sim_->Now() >= state_until_) {
+      burst_state_ = !burst_state_;
+      state_until_ = sim_->Now() + rng_.ExpDuration(burst_state_ ? config_.burst_mean
+                                                                 : config_.calm_mean);
+    }
+    hw::IoPacket pkt;
+    pkt.id = next_id_++;
+    pkt.kind = config_.kind;
+    pkt.queue = queue_;
+    pkt.size_bytes = config_.size_bytes;
+    pkt.flow = config_.flow;
+    pkt.user_tag = config_.user_tag;
+    pkt.created = sim_->Now();
+    ++injected_;
+    accel_->Ingress(queue_, pkt);
+    ScheduleNext();
+  });
+}
+
+void OpenLoopSource::OnDelivered(const hw::IoPacket& pkt, sim::SimTime completed) {
+  ++delivered_;
+  delivered_bytes_ += pkt.size_bytes;
+  latency_us_.Add(sim::ToMicros(completed - pkt.created));
+}
+
+}  // namespace taichi::dp

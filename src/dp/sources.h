@@ -1,0 +1,71 @@
+// Open-loop traffic sources: Poisson, constant-rate and MMPP (bursty)
+// arrival processes feeding accelerator queues. Closed-loop clients live in
+// the experiment harness because they depend on end-to-end path wiring.
+#ifndef SRC_DP_SOURCES_H_
+#define SRC_DP_SOURCES_H_
+
+#include <cstdint>
+
+#include "src/hw/accelerator.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+
+namespace taichi::dp {
+
+struct OpenLoopConfig {
+  enum class Process : uint8_t { kPoisson, kConstant, kMmpp };
+
+  double rate_pps = 100000;  // Mean rate (in the low state, for kMmpp).
+  uint32_t size_bytes = 64;
+  Process process = Process::kPoisson;
+  hw::IoKind kind = hw::IoKind::kNetRx;
+  uint64_t flow = 0;
+  uint64_t user_tag = 0;  // Stamped on every generated packet.
+
+  // MMPP: alternating low/high states; the high state multiplies the rate.
+  double burst_multiplier = 8.0;
+  sim::Duration burst_mean = sim::Millis(2);
+  sim::Duration calm_mean = sim::Millis(20);
+};
+
+class OpenLoopSource {
+ public:
+  OpenLoopSource(sim::Simulation* sim, hw::Accelerator* accel, uint32_t queue,
+                 OpenLoopConfig config, uint64_t seed);
+
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+  void set_rate(double pps) { config_.rate_pps = pps; }
+
+  // The experiment sink forwards per-packet completions here.
+  void OnDelivered(const hw::IoPacket& pkt, sim::SimTime completed);
+
+  uint64_t injected() const { return injected_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  const sim::Summary& latency_us() const { return latency_us_; }
+
+ private:
+  void ScheduleNext();
+  double CurrentRate() const;
+
+  sim::Simulation* sim_;
+  hw::Accelerator* accel_;
+  uint32_t queue_;
+  OpenLoopConfig config_;
+  sim::Rng rng_;
+  bool running_ = false;
+  bool burst_state_ = false;
+  sim::SimTime state_until_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t injected_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t delivered_bytes_ = 0;
+  sim::Summary latency_us_;
+};
+
+}  // namespace taichi::dp
+
+#endif  // SRC_DP_SOURCES_H_

@@ -1,0 +1,297 @@
+#include "src/exp/testbed.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::exp {
+
+namespace {
+// Owner id reserved for background open-loop traffic.
+constexpr uint16_t kBackgroundOwner = 1;
+}  // namespace
+
+const char* ToString(Mode mode) {
+  switch (mode) {
+    case Mode::kBaseline:
+      return "baseline";
+    case Mode::kNaiveCosched:
+      return "naive-cosched";
+    case Mode::kTaiChi:
+      return "taichi";
+    case Mode::kTaiChiNoHwProbe:
+      return "taichi-no-hwprobe";
+    case Mode::kTaiChiVdp:
+      return "taichi-vdp";
+    case Mode::kType2:
+      return "type2-qemu-kvm";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), sim_(config.seed), rng_(config.seed ^ 0x7a1c41) {
+  hw::MachineConfig mcfg;
+  mcfg.num_cpus = config_.total_cpus;
+  machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+  kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
+
+  machine_->nic().set_sink([this](const hw::IoPacket& pkt) {
+    auto it = wire_sinks_.find(OwnerOf(pkt.user_tag));
+    if (it != wire_sinks_.end()) {
+      it->second(pkt, sim_.Now());
+    }
+  });
+
+  BuildTopology();
+
+  const bool is_taichi = config_.mode == Mode::kTaiChi ||
+                         config_.mode == Mode::kTaiChiNoHwProbe ||
+                         config_.mode == Mode::kTaiChiVdp;
+  if (is_taichi) {
+    core::TaiChiConfig tcfg = config_.taichi;
+    tcfg.dp_cpus = dp_set_;
+    tcfg.cp_cpus = cp_set_;
+    if (tcfg.num_vcpus == 0) {
+      tcfg.num_vcpus = config_.dp_cpu_count;
+    }
+    tcfg.hw_probe_enabled = config_.mode != Mode::kTaiChiNoHwProbe;
+    taichi_ = std::make_unique<core::TaiChi>(kernel_.get(), tcfg);
+    // vCPU bring-up (boot IPIs + boot cost).
+    sim_.RunFor(sim::Millis(1));
+    cp_task_cpus_ = taichi_->cp_task_cpus();
+  }
+
+  BuildServices();
+
+  cp::VmStartupConfig vmcfg = config_.vm_startup;
+  if (config_.mode == Mode::kType2) {
+    vmcfg.ipc_penalty = config_.type2.ipc_to_rpc_penalty;
+  }
+  device_manager_ = std::make_unique<cp::DeviceManager>(kernel_.get(), vmcfg,
+                                                        config_.seed ^ 0xdeb1ce);
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::BuildTopology() {
+  assert(config_.dp_cpu_count < static_cast<int>(config_.total_cpus));
+  dp_set_ = os::CpuSet::Range(0, config_.dp_cpu_count);
+  cp_set_ = os::CpuSet::Range(config_.dp_cpu_count, static_cast<int>(config_.total_cpus));
+
+  int active_dp = config_.dp_cpu_count;
+  if (config_.mode == Mode::kType2) {
+    // QEMU device emulation + the guest OS permanently occupy DP CPUs.
+    active_dp -= config_.type2.dedicated_cpus;
+    assert(active_dp > 0);
+    for (int i = active_dp; i < config_.dp_cpu_count; ++i) {
+      kernel_->Spawn("qemu_emulation_" + std::to_string(i),
+                     std::make_unique<os::LambdaBehavior>(
+                         [](os::Kernel&, os::Task&, const os::ActionResult&) {
+                           return os::Action::BusyPoll(0);
+                         }),
+                     os::CpuSet::Of({i}), os::Priority::kHigh);
+    }
+  }
+  for (int i = 0; i < active_dp; ++i) {
+    active_dp_cpus_.push_back(i);
+  }
+
+  switch (config_.mode) {
+    case Mode::kBaseline:
+    case Mode::kType2:
+      cp_task_cpus_ = cp_set_;
+      break;
+    case Mode::kNaiveCosched:
+      cp_task_cpus_ = dp_set_ | cp_set_;
+      break;
+    default:
+      cp_task_cpus_ = cp_set_;  // Extended with vCPUs once Tai Chi is up.
+      break;
+  }
+}
+
+void Testbed::BuildServices() {
+  const bool is_taichi = taichi_ != nullptr;
+  for (os::CpuId cpu : active_dp_cpus_) {
+    uint32_t queue = machine_->accelerator().AddQueue(static_cast<uint32_t>(cpu));
+    queues_.push_back(queue);
+
+    dp::PollServiceConfig scfg = config_.dp_service;
+    if (config_.mode == Mode::kTaiChiVdp) {
+      scfg.virt_work_tax = config_.type1.dp_work_tax;
+    }
+    dp::YieldPolicy policy = dp::YieldPolicy::kBusyPoll;
+    if (config_.mode == Mode::kNaiveCosched) {
+      policy = dp::YieldPolicy::kBlockOnIdle;
+    }
+    auto service = std::make_unique<dp::PollService>(cpu, scfg, policy);
+    service->AttachRing(&machine_->accelerator().ring(queue));
+    service->set_sink([this](const hw::IoPacket& pkt, sim::SimTime completed) {
+      DispatchFromDp(pkt, completed);
+    });
+    if (is_taichi) {
+      service->AttachTaiChiProbe(&taichi_->sw_probe());
+      if (config_.multi_dim_idle) {
+        // §9: override the idle check with the multi-dimensional variant.
+        dp::PollService* svc = service.get();
+        taichi_->sw_probe().RegisterDpService(
+            cpu, [this, svc, queue] {
+              return svc->IsIdle() && machine_->accelerator().in_flight(queue) == 0;
+            });
+      }
+    }
+    os::Task* task = kernel_->Spawn("dp_service_" + std::to_string(cpu),
+                                    std::make_unique<os::BehaviorRef>(service.get()),
+                                    os::CpuSet::Of({cpu}), os::Priority::kHigh);
+    service->BindTask(kernel_.get(), task);
+    services_.push_back(std::move(service));
+  }
+}
+
+uint32_t Testbed::queue_for_flow(uint64_t flow) const {
+  return queues_[flow % queues_.size()];
+}
+
+void Testbed::Inject(hw::IoPacket pkt) {
+  pkt.queue = queue_for_flow(pkt.flow);
+  if (pkt.created == 0) {
+    pkt.created = sim_.Now();
+  }
+  machine_->accelerator().Ingress(pkt.queue, pkt);
+}
+
+void Testbed::InjectFromWire(hw::IoPacket pkt) {
+  if (pkt.created == 0) {
+    pkt.created = sim_.Now();
+  }
+  sim_.Schedule(config_.wire_latency, [this, pkt] { Inject(pkt); });
+}
+
+void Testbed::InjectFromVm(hw::IoPacket pkt) {
+  if (pkt.created == 0) {
+    pkt.created = sim_.Now();
+  }
+  sim_.Schedule(config_.pcie_dma_cost, [this, pkt] { Inject(pkt); });
+}
+
+void Testbed::DispatchFromDp(const hw::IoPacket& pkt, sim::SimTime completed) {
+  switch (pkt.kind) {
+    case hw::IoKind::kNetRx: {
+      sim_.Schedule(config_.pcie_dma_cost, [this, pkt] {
+        auto it = vm_sinks_.find(OwnerOf(pkt.user_tag));
+        if (it != vm_sinks_.end()) {
+          it->second(pkt, sim_.Now());
+        }
+      });
+      return;
+    }
+    case hw::IoKind::kNetTx:
+      machine_->nic().Transmit(pkt);
+      return;
+    case hw::IoKind::kBlockIo: {
+      auto it = storage_sinks_.find(OwnerOf(pkt.user_tag));
+      if (it != storage_sinks_.end()) {
+        it->second(pkt, completed);
+      }
+      return;
+    }
+  }
+}
+
+sim::Duration Testbed::VmStackDelay() {
+  return config_.vm_stack_base + rng_.UniformDuration(0, config_.vm_stack_jitter);
+}
+
+double Testbed::RateForUtilization(double utilization, uint32_t size_bytes) const {
+  double per_packet_ns = static_cast<double>(config_.dp_service.per_packet_base_cost) +
+                         size_bytes * config_.dp_service.ns_per_byte;
+  return utilization * 1e9 / per_packet_ns;
+}
+
+void Testbed::StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
+                                  dp::OpenLoopConfig::Process process) {
+  RegisterVmSink(kBackgroundOwner, [this](const hw::IoPacket& pkt, sim::SimTime t) {
+    size_t idx = pkt.flow % background_.size();
+    background_[idx]->OnDelivered(pkt, t);
+  });
+  for (size_t i = 0; i < active_dp_cpus_.size(); ++i) {
+    dp::OpenLoopConfig ocfg;
+    ocfg.rate_pps = per_cpu_rate_pps;
+    ocfg.size_bytes = size_bytes;
+    ocfg.process = process;
+    ocfg.kind = hw::IoKind::kNetRx;
+    ocfg.flow = i;
+    ocfg.user_tag = Tag(kBackgroundOwner, i);
+    auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
+                                                    queues_[i], ocfg,
+                                                    config_.seed * 77 + i);
+    src->Start();
+    background_.push_back(std::move(src));
+  }
+}
+
+void Testbed::StartBackgroundBurstyLoad(double avg_utilization, uint32_t size_bytes) {
+  StartBackgroundBurstyLoadPerCpu({avg_utilization}, size_bytes);
+}
+
+void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
+                                              uint32_t size_bytes) {
+  assert(!utils.empty());
+  // On/off modulation: calm floor of ~1% utilization, bursts near peak; the
+  // burst duty cycle is chosen per CPU to hit its requested average.
+  constexpr double kCalmUtil = 0.01;
+  constexpr double kBurstUtil = 0.90;
+  RegisterVmSink(kBackgroundOwner, [this](const hw::IoPacket& pkt, sim::SimTime t) {
+    size_t idx = pkt.flow % background_.size();
+    background_[idx]->OnDelivered(pkt, t);
+  });
+  const sim::Duration burst_mean = sim::Millis(2);
+  for (size_t i = 0; i < active_dp_cpus_.size(); ++i) {
+    double util = utils[std::min(i, utils.size() - 1)];
+    double duty = std::clamp((util - kCalmUtil) / (kBurstUtil - kCalmUtil), 0.0, 1.0);
+    const sim::Duration calm_mean =
+        duty > 0 ? static_cast<sim::Duration>(burst_mean * (1.0 - duty) / duty)
+                 : sim::Seconds(1000);
+    dp::OpenLoopConfig ocfg;
+    ocfg.rate_pps = RateForUtilization(kCalmUtil, size_bytes);
+    ocfg.size_bytes = size_bytes;
+    ocfg.process = dp::OpenLoopConfig::Process::kMmpp;
+    ocfg.burst_multiplier = kBurstUtil / kCalmUtil;
+    ocfg.burst_mean = burst_mean;
+    ocfg.calm_mean = calm_mean;
+    ocfg.kind = hw::IoKind::kNetRx;
+    ocfg.flow = i;
+    ocfg.user_tag = Tag(kBackgroundOwner, i);
+    auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
+                                                    queues_[i], ocfg,
+                                                    config_.seed * 91 + i);
+    src->Start();
+    background_.push_back(std::move(src));
+  }
+}
+
+void Testbed::StopBackgroundLoad() {
+  for (auto& src : background_) {
+    src->Stop();
+  }
+}
+
+sim::Duration Testbed::TotalDpWork() const {
+  sim::Duration total = 0;
+  for (const auto& service : services_) {
+    total += service->work_time();
+  }
+  return total;
+}
+
+void Testbed::SpawnBackgroundCp() {
+  if (!config_.spawn_monitors) {
+    return;
+  }
+  cp::SpawnMonitorFleet(kernel_.get(), config_.monitors, cp_task_cpus_, &monitor_lock_,
+                        config_.seed ^ 0x3a0b17);
+}
+
+}  // namespace taichi::exp

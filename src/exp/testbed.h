@@ -1,0 +1,177 @@
+// The experiment testbed: one SmartNIC node assembled per scheduling mode.
+//
+// Reproduces the Table 4 environment: a 12-CPU SmartNIC whose data plane
+// (8 CPUs) runs poll-mode services fed by the programmable accelerator, and
+// whose control plane (4 CPUs) runs device management, monitors and
+// orchestration tasks. The mode selects the co-scheduling mechanism under
+// test (§6.1/§6.3):
+//
+//   kBaseline        static partitioning (production SOTA baseline)
+//   kNaiveCosched    CP tasks share DP CPUs through the OS scheduler
+//   kTaiChi          the full framework
+//   kTaiChiNoHwProbe Tai Chi without the hardware workload probe (§6.4)
+//   kTaiChiVdp       type-1 emulation: DP in vCPU contexts (§6.3)
+//   kType2           QEMU+KVM guest for CP: dedicated emulation CPUs (§6.3)
+#ifndef SRC_EXP_TESTBED_H_
+#define SRC_EXP_TESTBED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cp/device_manager.h"
+#include "src/cp/monitor.h"
+#include "src/dp/poll_service.h"
+#include "src/dp/sources.h"
+#include "src/hw/machine.h"
+#include "src/os/kernel.h"
+#include "src/sim/simulation.h"
+#include "src/taichi/taichi.h"
+#include "src/virt/virt_costs.h"
+
+namespace taichi::exp {
+
+enum class Mode : uint8_t {
+  kBaseline,
+  kNaiveCosched,
+  kTaiChi,
+  kTaiChiNoHwProbe,
+  kTaiChiVdp,
+  kType2,
+};
+
+const char* ToString(Mode mode);
+
+struct TestbedConfig {
+  Mode mode = Mode::kBaseline;
+  uint32_t total_cpus = 12;  // Table 4.
+  int dp_cpu_count = 8;      // Static partition: 8 DP + 4 CP (§6.1).
+  uint64_t seed = 1;
+
+  dp::PollServiceConfig dp_service;
+  core::TaiChiConfig taichi;  // dp/cp/vcpu fields filled by the testbed.
+  // §9 extension: the idle check also consults accelerator pipeline
+  // occupancy (packet metadata), so a DP CPU never yields with work already
+  // in flight toward it.
+  bool multi_dim_idle = false;
+  virt::Type1Costs type1;
+  virt::Type2Costs type2;
+
+  // Background control-plane load present on every node.
+  bool spawn_monitors = true;
+  cp::MonitorFleetConfig monitors;
+  cp::VmStartupConfig vm_startup;
+
+  // End-to-end path constants (calibrated so the baseline ping RTT lands
+  // near Table 5's 26/30/38 us).
+  sim::Duration wire_latency = sim::Micros(4);     // Client <-> NIC, one way.
+  sim::Duration pcie_dma_cost = sim::MicrosF(0.9); // SmartNIC <-> host VM.
+  sim::Duration vm_stack_base = sim::Micros(9);    // Guest network stack.
+  sim::Duration vm_stack_jitter = sim::Micros(10); // Uniform [0, jitter).
+};
+
+class Testbed {
+ public:
+  using Sink = std::function<void(const hw::IoPacket&, sim::SimTime)>;
+
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  hw::Machine& machine() { return *machine_; }
+  os::Kernel& kernel() { return *kernel_; }
+  core::TaiChi* taichi() { return taichi_.get(); }
+  cp::DeviceManager& device_manager() { return *device_manager_; }
+  const TestbedConfig& config() const { return config_; }
+
+  // --- Topology ---
+  // DP CPUs actually running services (excludes type-2 emulation CPUs).
+  const std::vector<os::CpuId>& active_dp_cpus() const { return active_dp_cpus_; }
+  os::CpuSet dp_cpu_set() const { return dp_set_; }
+  os::CpuSet cp_pcpu_set() const { return cp_set_; }
+  // Where control-plane tasks are affined in this mode.
+  os::CpuSet cp_task_cpus() const { return cp_task_cpus_; }
+  dp::PollService& service(size_t i) { return *services_[i]; }
+  size_t service_count() const { return services_.size(); }
+  uint32_t queue_for_flow(uint64_t flow) const;
+
+  // --- Packet injection (both directions pass the accelerator + DP) ---
+  // From the external network: wire latency, then accelerator ingress.
+  void InjectFromWire(hw::IoPacket pkt);
+  // From the host VM: PCIe DMA, then accelerator ingress.
+  void InjectFromVm(hw::IoPacket pkt);
+  // Raw ingress at the accelerator (no extra leg).
+  void Inject(hw::IoPacket pkt);
+
+  // --- Delivery sinks, keyed by owner id (top 16 bits of user_tag) ---
+  static constexpr int kOwnerShift = 48;
+  static uint64_t Tag(uint16_t owner, uint64_t value) {
+    return (static_cast<uint64_t>(owner) << kOwnerShift) | value;
+  }
+  static uint16_t OwnerOf(uint64_t tag) { return static_cast<uint16_t>(tag >> kOwnerShift); }
+
+  // kNetRx packets reach the VM (after PCIe DMA); kNetTx packets reach the
+  // wire (after NIC serialization + wire latency); kBlockIo packets complete
+  // at the storage layer immediately after DP processing.
+  void RegisterVmSink(uint16_t owner, Sink sink) { vm_sinks_[owner] = std::move(sink); }
+  void RegisterWireSink(uint16_t owner, Sink sink) { wire_sinks_[owner] = std::move(sink); }
+  void RegisterStorageSink(uint16_t owner, Sink sink) { storage_sinks_[owner] = std::move(sink); }
+
+  // Draws the guest network-stack delay (base + uniform jitter).
+  sim::Duration VmStackDelay();
+
+  // --- Background DP load ---
+  // Starts an open-loop source per active DP CPU, each at `per_cpu_rate_pps`.
+  // `utilization` helpers convert between rate and expected CPU load.
+  void StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
+                           dp::OpenLoopConfig::Process process);
+  // Production-shaped traffic (§3.1): long quiet stretches punctuated by
+  // near-peak bursts, averaging `avg_utilization` per DP CPU. This is the
+  // regime where DP idle cycles are actually donatable.
+  void StartBackgroundBurstyLoad(double avg_utilization, uint32_t size_bytes);
+  // Same, with heterogeneous per-CPU average utilizations (fleet modeling,
+  // Fig. 3). utils[i] drives active DP CPU i; missing entries reuse the last.
+  void StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
+                                       uint32_t size_bytes);
+  void StopBackgroundLoad();
+  double RateForUtilization(double utilization, uint32_t size_bytes) const;
+
+  // Aggregate useful DP work time across services.
+  sim::Duration TotalDpWork() const;
+
+  // Spawns the standard background CP fleet (monitors) for this mode.
+  void SpawnBackgroundCp();
+
+ private:
+  void BuildTopology();
+  void BuildServices();
+  void DispatchFromDp(const hw::IoPacket& pkt, sim::SimTime completed);
+
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  sim::Rng rng_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<core::TaiChi> taichi_;
+  std::unique_ptr<cp::DeviceManager> device_manager_;
+
+  os::CpuSet dp_set_;
+  os::CpuSet cp_set_;
+  os::CpuSet cp_task_cpus_;
+  std::vector<os::CpuId> active_dp_cpus_;
+  std::vector<uint32_t> queues_;  // queue id per active DP CPU.
+  std::vector<std::unique_ptr<dp::PollService>> services_;
+  std::vector<std::unique_ptr<dp::OpenLoopSource>> background_;
+
+  std::unordered_map<uint16_t, Sink> vm_sinks_;
+  std::unordered_map<uint16_t, Sink> wire_sinks_;
+  std::unordered_map<uint16_t, Sink> storage_sinks_;
+  os::KernelSpinlock monitor_lock_{"monitor_log_lock"};
+};
+
+}  // namespace taichi::exp
+
+#endif  // SRC_EXP_TESTBED_H_

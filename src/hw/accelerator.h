@@ -1,0 +1,87 @@
+// The programmable I/O hardware accelerator (§2.2/§3.4): every I/O request
+// entering the SmartNIC is preprocessed (payload handling, 2.7 us) and then
+// transferred to the memory shared with the owning DP service (0.5 us). The
+// sum is the "I/O preprocessing window" that Tai Chi uses to hide vCPU
+// scheduling latency (Observation 4 / Fig. 6).
+#ifndef SRC_HW_ACCELERATOR_H_
+#define SRC_HW_ACCELERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/hw_probe.h"
+#include "src/hw/io_packet.h"
+#include "src/hw/ring.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+
+namespace taichi::hw {
+
+struct AcceleratorConfig {
+  sim::Duration preprocess_latency = sim::MicrosF(2.7);  // Stage 2 in Fig. 6.
+  sim::Duration transfer_latency = sim::MicrosF(0.5);    // Stage 3 in Fig. 6.
+  // Pipeline initiation interval per queue: a new packet can start
+  // preprocessing this long after the previous one on the same queue.
+  sim::Duration per_packet_gap = sim::Nanos(120);
+};
+
+class Accelerator {
+ public:
+  Accelerator(sim::Simulation* sim, AcceleratorConfig config)
+      : sim_(sim), config_(config) {}
+
+  // Declares an eNIC queue whose descriptors are consumed by the DP service
+  // running on data-plane CPU `dest_cpu`. Returns the queue id.
+  uint32_t AddQueue(uint32_t dest_cpu);
+
+  DescriptorRing& ring(uint32_t queue) { return *queues_[queue].ring; }
+  uint32_t dest_cpu(uint32_t queue) const { return queues_[queue].dest_cpu; }
+  size_t queue_count() const { return queues_.size(); }
+
+  // Re-homes a queue to a different DP CPU (used by the §8 dynamic
+  // repartition experiment).
+  void SetDestCpu(uint32_t queue, uint32_t dest_cpu) { queues_[queue].dest_cpu = dest_cpu; }
+
+  // Installs the hardware workload probe "firmware" (the paper's ~30-line
+  // accelerator modification). Null uninstalls it.
+  void set_probe(HwWorkloadProbe* probe) { probe_ = probe; }
+  HwWorkloadProbe* probe() const { return probe_; }
+
+  // A packet enters the SmartNIC bound for `queue`. Walks the probe check,
+  // the preprocessing stage and the transfer stage, then publishes the
+  // descriptor to the queue's ring.
+  void Ingress(uint32_t queue, IoPacket pkt);
+
+  uint64_t packets_ingressed() const { return ingressed_; }
+  uint64_t packets_published() const { return published_; }
+  uint64_t ring_drops() const;
+
+  // Packets currently inside the preprocessing pipeline for `queue` —
+  // packet metadata the §9 extension exposes to the software probe so DP
+  // CPUs do not yield with work already in flight toward them.
+  uint32_t in_flight(uint32_t queue) const { return queues_[queue].in_flight; }
+
+  // Observed per-packet accelerator residency (for the Fig. 6 breakdown).
+  const sim::Summary& residency_us() const { return residency_us_; }
+
+ private:
+  struct Queue {
+    uint32_t dest_cpu = 0;
+    std::unique_ptr<DescriptorRing> ring;
+    sim::SimTime next_free = 0;  // Earliest time the next packet may start stage 2.
+    uint32_t in_flight = 0;      // Packets inside the pipeline right now.
+  };
+
+  sim::Simulation* sim_;
+  AcceleratorConfig config_;
+  std::vector<Queue> queues_;
+  HwWorkloadProbe* probe_ = nullptr;
+  uint64_t ingressed_ = 0;
+  uint64_t published_ = 0;
+  sim::Summary residency_us_;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_ACCELERATOR_H_

@@ -1,0 +1,17 @@
+#include "src/hw/apic.h"
+
+namespace taichi::hw {
+
+void Apic::Send(ApicId from, ApicId to, IrqVector vector) {
+  ++sent_;
+  sim_->Schedule(delivery_latency_, [this, from, to, vector] {
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      return;
+    }
+    it->second(vector, from);
+  });
+}
+
+}  // namespace taichi::hw

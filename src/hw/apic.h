@@ -1,0 +1,61 @@
+// Interrupt controller model: delivers IPIs and device IRQs to per-APIC-id
+// handlers with a small delivery latency.
+#ifndef SRC_HW_APIC_H_
+#define SRC_HW_APIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+
+using ApicId = uint32_t;
+inline constexpr ApicId kInvalidApicId = 0xffffffff;
+
+// Interrupt vectors used across the repository. The exact values are
+// arbitrary; they only key dispatch tables.
+enum class IrqVector : int {
+  kTimer = 32,
+  kResched = 33,       // Kernel rescheduling IPI.
+  kFunctionCall = 34,  // smp_call_function-style IPI.
+  kBoot = 35,          // INIT/SIPI-style CPU bring-up sequence.
+  kDpWorkload = 48,    // Raised by the hardware workload probe (V-state hit).
+  kCustomBase = 64,
+};
+
+// Delivers interrupts to registered handlers. Delivery is asynchronous with
+// a fixed hardware latency, matching MSR-triggered x2apic IPIs.
+class Apic {
+ public:
+  using Handler = std::function<void(IrqVector vector, ApicId from)>;
+
+  Apic(sim::Simulation* sim, sim::Duration delivery_latency)
+      : sim_(sim), delivery_latency_(delivery_latency) {}
+
+  // Registers/replaces the interrupt handler for an APIC id.
+  void RegisterHandler(ApicId id, Handler handler) { handlers_[id] = std::move(handler); }
+  void UnregisterHandler(ApicId id) { handlers_.erase(id); }
+  bool HasHandler(ApicId id) const { return handlers_.contains(id); }
+
+  // Sends an interrupt to `to`. Delivered `delivery_latency` later; silently
+  // dropped if no handler is registered at delivery time (masked/offline
+  // CPU), like real hardware writing to a missing LAPIC.
+  void Send(ApicId from, ApicId to, IrqVector vector);
+
+  uint64_t sent_count() const { return sent_; }
+  uint64_t dropped_count() const { return dropped_; }
+  sim::Duration delivery_latency() const { return delivery_latency_; }
+
+ private:
+  sim::Simulation* sim_;
+  sim::Duration delivery_latency_;
+  std::unordered_map<ApicId, Handler> handlers_;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_APIC_H_

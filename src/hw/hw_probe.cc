@@ -1,0 +1,39 @@
+#include "src/hw/hw_probe.h"
+
+#include <cassert>
+
+#include "src/sim/logging.h"
+
+namespace taichi::hw {
+
+HwWorkloadProbe::HwWorkloadProbe(sim::Simulation* sim, Apic* apic, std::vector<ApicId> apic_ids)
+    : sim_(sim),
+      apic_(apic),
+      apic_ids_(std::move(apic_ids)),
+      states_(apic_ids_.size(), CpuProbeState::kPState),
+      irq_inflight_(apic_ids_.size(), false) {}
+
+void HwWorkloadProbe::SetState(uint32_t cpu, CpuProbeState state) {
+  assert(cpu < states_.size());
+  states_[cpu] = state;
+  if (state == CpuProbeState::kPState) {
+    irq_inflight_[cpu] = false;
+  }
+}
+
+void HwWorkloadProbe::OnPacketArrival(uint32_t cpu) {
+  assert(cpu < states_.size());
+  if (!enabled_ || states_[cpu] != CpuProbeState::kVState) {
+    return;
+  }
+  ++vstate_hits_;
+  if (irq_inflight_[cpu]) {
+    return;  // Already signalled for this V-state episode.
+  }
+  irq_inflight_[cpu] = true;
+  ++irqs_raised_;
+  TAICHI_TRACE(sim_->Now(), "hw-probe: V-state hit on dp cpu %u, raising IRQ", cpu);
+  apic_->Send(kInvalidApicId, apic_ids_[cpu], IrqVector::kDpWorkload);
+}
+
+}  // namespace taichi::hw

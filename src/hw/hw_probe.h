@@ -1,0 +1,57 @@
+// The hardware workload probe (§4.3): a CPU-state table kept inside the
+// programmable I/O accelerator, updated by the vCPU scheduler, consulted
+// before each packet's preprocessing. When the destination CPU is running a
+// vCPU (V-state), the probe asynchronously raises an IRQ so the vCPU can be
+// preempted while the packet is still inside the preprocessing window.
+#ifndef SRC_HW_HW_PROBE_H_
+#define SRC_HW_HW_PROBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/apic.h"
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+
+enum class CpuProbeState : uint8_t {
+  kPState,  // Physical context: DP service running natively; IRQ masked.
+  kVState,  // Virtual context: a vCPU occupies the CPU; IRQ on packet arrival.
+};
+
+class HwWorkloadProbe {
+ public:
+  // `apic_ids[i]` is the LAPIC id the probe signals for data-plane CPU i.
+  HwWorkloadProbe(sim::Simulation* sim, Apic* apic, std::vector<ApicId> apic_ids);
+
+  // Enables/disables the probe logic entirely ("Tai Chi w/o HW probe").
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // State updates performed by the vCPU scheduler (steps 4/5 in Fig. 7b).
+  void SetState(uint32_t cpu, CpuProbeState state);
+  CpuProbeState state(uint32_t cpu) const { return states_[cpu]; }
+
+  // Called by the accelerator before preprocessing a packet destined to
+  // `cpu`. Fires the IRQ at most once per V-state episode: after firing, the
+  // line stays armed-off until the scheduler flips the CPU back to P-state
+  // and a later yield re-enters V-state.
+  void OnPacketArrival(uint32_t cpu);
+
+  uint64_t irqs_raised() const { return irqs_raised_; }
+  uint64_t vstate_hits() const { return vstate_hits_; }
+
+ private:
+  sim::Simulation* sim_;
+  Apic* apic_;
+  std::vector<ApicId> apic_ids_;
+  std::vector<CpuProbeState> states_;
+  std::vector<bool> irq_inflight_;
+  bool enabled_ = true;
+  uint64_t irqs_raised_ = 0;
+  uint64_t vstate_hits_ = 0;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_HW_PROBE_H_

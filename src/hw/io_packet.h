@@ -1,0 +1,33 @@
+// The unit of I/O moved through the SmartNIC: a network packet or a storage
+// request descriptor. Shared between the accelerator (hw) and the data-plane
+// services (dp).
+#ifndef SRC_HW_IO_PACKET_H_
+#define SRC_HW_IO_PACKET_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace taichi::hw {
+
+enum class IoKind : uint8_t {
+  kNetRx,    // Packet from the wire toward a VM.
+  kNetTx,    // Packet from a VM toward the wire.
+  kBlockIo,  // Storage request (read or write) from a VM.
+};
+
+struct IoPacket {
+  uint64_t id = 0;
+  IoKind kind = IoKind::kNetRx;
+  uint32_t queue = 0;          // eNIC queue the packet belongs to.
+  uint32_t size_bytes = 64;    // Wire size for nets, block size for storage.
+  uint64_t flow = 0;           // Flow/connection identity for RSS-style hashing.
+  sim::SimTime created = 0;    // When the request entered the SmartNIC domain.
+  sim::SimTime ring_push = 0;  // When the accelerator published it to the DP ring.
+  uint64_t user_tag = 0;       // Opaque cookie for the workload that issued it.
+  uint32_t dp_cost_hint = 0;   // Extra DP processing (ns): flow setup, crypto, etc.
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_IO_PACKET_H_

@@ -1,0 +1,18 @@
+#include "src/hw/machine.h"
+
+namespace taichi::hw {
+
+Machine::Machine(sim::Simulation* sim, MachineConfig config)
+    : sim_(sim), config_(config) {
+  apic_ = std::make_unique<Apic>(sim_, config_.ipi_delivery_latency);
+  accelerator_ = std::make_unique<Accelerator>(sim_, config_.accelerator);
+  nic_ = std::make_unique<NicPort>(sim_, config_.nic);
+
+  std::vector<ApicId> dp_apics(config_.num_cpus);
+  for (uint32_t i = 0; i < config_.num_cpus; ++i) {
+    dp_apics[i] = cpu_apic_id(i);
+  }
+  probe_ = std::make_unique<HwWorkloadProbe>(sim_, apic_.get(), std::move(dp_apics));
+}
+
+}  // namespace taichi::hw

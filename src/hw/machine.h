@@ -1,0 +1,57 @@
+// The SmartNIC system-on-chip: general-purpose CPUs, the interrupt fabric,
+// the programmable I/O accelerator with its workload probe, and the physical
+// network port. Mirrors the Table 4 SmartNIC (12 CPUs, 200 Gb/s).
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/accelerator.h"
+#include "src/hw/apic.h"
+#include "src/hw/hw_probe.h"
+#include "src/hw/nic_port.h"
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+
+struct MachineConfig {
+  uint32_t num_cpus = 12;  // Table 4: "CPU: 12 CPU".
+  sim::Duration ipi_delivery_latency = sim::Nanos(400);
+  AcceleratorConfig accelerator;
+  NicPortConfig nic;
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulation* sim, MachineConfig config);
+
+  sim::Simulation* sim() { return sim_; }
+  const MachineConfig& config() const { return config_; }
+  uint32_t num_cpus() const { return config_.num_cpus; }
+
+  // Physical CPU i has LAPIC id i.
+  ApicId cpu_apic_id(uint32_t cpu) const { return cpu; }
+
+  Apic& apic() { return *apic_; }
+  Accelerator& accelerator() { return *accelerator_; }
+  NicPort& nic() { return *nic_; }
+
+  // The hardware workload probe is instantiated with the machine (it is part
+  // of the accelerator silicon) but only consulted once installed into the
+  // accelerator via Accelerator::set_probe().
+  HwWorkloadProbe& probe() { return *probe_; }
+
+ private:
+  sim::Simulation* sim_;
+  MachineConfig config_;
+  std::unique_ptr<Apic> apic_;
+  std::unique_ptr<Accelerator> accelerator_;
+  std::unique_ptr<HwWorkloadProbe> probe_;
+  std::unique_ptr<NicPort> nic_;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_MACHINE_H_

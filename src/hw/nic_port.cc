@@ -1,0 +1,24 @@
+#include "src/hw/nic_port.h"
+
+#include <algorithm>
+
+namespace taichi::hw {
+
+sim::Duration NicPort::SerializationDelay(uint32_t bytes) const {
+  const double ns = static_cast<double>(bytes) * 8.0 / config_.bandwidth_gbps;
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(ns));
+}
+
+void NicPort::Transmit(const IoPacket& pkt) {
+  const sim::SimTime start = std::max(sim_->Now(), link_free_);
+  const sim::SimTime done = start + SerializationDelay(pkt.size_bytes);
+  link_free_ = done;
+  ++transmitted_;
+  bytes_ += pkt.size_bytes;
+  if (!sink_) {
+    return;
+  }
+  sim_->At(done + config_.wire_latency, [this, pkt] { sink_(pkt); });
+}
+
+}  // namespace taichi::hw

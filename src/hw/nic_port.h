@@ -1,0 +1,46 @@
+// The physical NIC port: serialization delay from link bandwidth plus a wire
+// propagation latency, delivering to an arbitrary sink (the test peer).
+#ifndef SRC_HW_NIC_PORT_H_
+#define SRC_HW_NIC_PORT_H_
+
+#include <functional>
+
+#include "src/hw/io_packet.h"
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+
+struct NicPortConfig {
+  double bandwidth_gbps = 200.0;               // Table 4: 200 Gb/s max.
+  sim::Duration wire_latency = sim::Micros(2);  // One-way to the test peer.
+};
+
+class NicPort {
+ public:
+  using Sink = std::function<void(const IoPacket&)>;
+
+  NicPort(sim::Simulation* sim, NicPortConfig config) : sim_(sim), config_(config) {}
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Transmits a packet; it reaches the sink after serialization on the link
+  // plus wire latency. Back-to-back packets queue behind each other.
+  void Transmit(const IoPacket& pkt);
+
+  uint64_t transmitted() const { return transmitted_; }
+  uint64_t bytes_transmitted() const { return bytes_; }
+
+ private:
+  sim::Duration SerializationDelay(uint32_t bytes) const;
+
+  sim::Simulation* sim_;
+  NicPortConfig config_;
+  Sink sink_;
+  sim::SimTime link_free_ = 0;
+  uint64_t transmitted_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_NIC_PORT_H_

@@ -1,0 +1,65 @@
+// A descriptor ring in the memory shared between the accelerator and a
+// data-plane service, with a watcher hook so poll-mode consumers can be
+// fast-forwarded to the next arrival instead of simulating each empty poll.
+#ifndef SRC_HW_RING_H_
+#define SRC_HW_RING_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/hw/io_packet.h"
+
+namespace taichi::hw {
+
+class DescriptorRing {
+ public:
+  explicit DescriptorRing(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Pushes a descriptor. Returns false (drop) when the ring is full, which
+  // mirrors rx-ring overflow behaviour under overload.
+  bool Push(const IoPacket& pkt) {
+    if (entries_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    entries_.push_back(pkt);
+    if (watcher_) {
+      watcher_();
+    }
+    return true;
+  }
+
+  // Pops up to `max` descriptors into `out`; returns the count — the model of
+  // rte_eth_rx_burst().
+  template <typename OutIt>
+  size_t PopBurst(size_t max, OutIt out) {
+    size_t n = 0;
+    while (n < max && !entries_.empty()) {
+      *out++ = entries_.front();
+      entries_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t drops() const { return drops_; }
+
+  // Invoked on every Push. Used by poll services to wake from idle
+  // fast-forward; must not pop synchronously from inside the callback.
+  void set_watcher(std::function<void()> watcher) { watcher_ = std::move(watcher); }
+
+ private:
+  size_t capacity_;
+  std::deque<IoPacket> entries_;
+  std::function<void()> watcher_;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace taichi::hw
+
+#endif  // SRC_HW_RING_H_

@@ -1,0 +1,90 @@
+// Reusable Behavior building blocks for tests, examples and workload models.
+#ifndef SRC_OS_BEHAVIORS_H_
+#define SRC_OS_BEHAVIORS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/os/task.h"
+
+namespace taichi::os {
+
+// Runs a fixed list of actions once, then exits.
+class ScriptBehavior : public Behavior {
+ public:
+  explicit ScriptBehavior(std::vector<Action> script) : script_(std::move(script)) {}
+
+  Action Next(Kernel&, Task&, const ActionResult&) override {
+    if (index_ >= script_.size()) {
+      return Action::Exit();
+    }
+    return script_[index_++];
+  }
+
+ private:
+  std::vector<Action> script_;
+  size_t index_ = 0;
+};
+
+// Repeats a fixed list of actions forever (or `iterations` times).
+class LoopBehavior : public Behavior {
+ public:
+  LoopBehavior(std::vector<Action> body, uint64_t iterations = 0)
+      : body_(std::move(body)), iterations_(iterations) {}
+
+  Action Next(Kernel&, Task&, const ActionResult&) override {
+    if (index_ >= body_.size()) {
+      index_ = 0;
+      ++completed_;
+      if (iterations_ != 0 && completed_ >= iterations_) {
+        return Action::Exit();
+      }
+    }
+    return body_[index_++];
+  }
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  std::vector<Action> body_;
+  uint64_t iterations_;
+  size_t index_ = 0;
+  uint64_t completed_ = 0;
+};
+
+// Non-owning adapter: lets an externally owned object (e.g. a long-lived
+// data-plane service) act as a task's behavior. The target must outlive the
+// task.
+class BehaviorRef : public Behavior {
+ public:
+  explicit BehaviorRef(Behavior* target) : target_(target) {}
+
+  Action Next(Kernel& kernel, Task& task, const ActionResult& last) override {
+    return target_->Next(kernel, task, last);
+  }
+  void OnScheduledIn(Kernel& kernel, Task& task) override {
+    target_->OnScheduledIn(kernel, task);
+  }
+
+ private:
+  Behavior* target_;
+};
+
+// Delegates to a callable; the most flexible form for bespoke state machines.
+class LambdaBehavior : public Behavior {
+ public:
+  using Fn = std::function<Action(Kernel&, Task&, const ActionResult&)>;
+  explicit LambdaBehavior(Fn fn) : fn_(std::move(fn)) {}
+
+  Action Next(Kernel& kernel, Task& task, const ActionResult& last) override {
+    return fn_(kernel, task, last);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace taichi::os
+
+#endif  // SRC_OS_BEHAVIORS_H_

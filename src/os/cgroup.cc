@@ -1,0 +1,43 @@
+#include "src/os/cgroup.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taichi::os {
+
+void CpuGroup::Attach(Task* task) {
+  assert(std::find(members_.begin(), members_.end(), task) == members_.end());
+  members_.push_back(task);
+  saved_affinity_.push_back(task->affinity());
+  kernel_->SetTaskAffinity(task, cpus_);
+}
+
+void CpuGroup::Detach(Task* task) {
+  auto it = std::find(members_.begin(), members_.end(), task);
+  if (it == members_.end()) {
+    return;
+  }
+  size_t idx = static_cast<size_t>(it - members_.begin());
+  kernel_->SetTaskAffinity(task, saved_affinity_[idx]);
+  members_.erase(it);
+  saved_affinity_.erase(saved_affinity_.begin() + static_cast<long>(idx));
+}
+
+void CpuGroup::SetCpus(CpuSet cpus) {
+  cpus_ = cpus;
+  for (Task* task : members_) {
+    if (task->state() != TaskState::kExited) {
+      kernel_->SetTaskAffinity(task, cpus_);
+    }
+  }
+}
+
+Task* CpuGroup::Spawn(std::string task_name, std::unique_ptr<Behavior> behavior,
+                      Priority priority) {
+  Task* task = kernel_->Spawn(std::move(task_name), std::move(behavior), cpus_, priority);
+  members_.push_back(task);
+  saved_affinity_.push_back(cpus_);
+  return task;
+}
+
+}  // namespace taichi::os

@@ -1,0 +1,51 @@
+// cpuset-cgroup-style task grouping: the deployment mechanism of §5 ("CP
+// tasks are deployed by binding them to vCPUs and CP-dedicated physical
+// CPUs through standard CPU affinity configuration (e.g., cgroup)").
+//
+// A CpuGroup holds a cpuset; member tasks inherit it, and changing the
+// group's cpuset live-rebinds every member — which is exactly how Tai Chi
+// rolls out (and rolls back) without touching task code.
+#ifndef SRC_OS_CGROUP_H_
+#define SRC_OS_CGROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/kernel.h"
+
+namespace taichi::os {
+
+class CpuGroup {
+ public:
+  CpuGroup(Kernel* kernel, std::string name, CpuSet cpus)
+      : kernel_(kernel), name_(std::move(name)), cpus_(cpus) {}
+
+  const std::string& name() const { return name_; }
+  const CpuSet& cpus() const { return cpus_; }
+  size_t size() const { return members_.size(); }
+  const std::vector<Task*>& members() const { return members_; }
+
+  // Adds a task: its affinity becomes the group's cpuset.
+  void Attach(Task* task);
+
+  // Removes a task, restoring the affinity it had before Attach.
+  void Detach(Task* task);
+
+  // Rebinds the whole group to a new cpuset (live migration of members).
+  void SetCpus(CpuSet cpus);
+
+  // Convenience: spawn a task directly into the group.
+  Task* Spawn(std::string task_name, std::unique_ptr<Behavior> behavior,
+              Priority priority = Priority::kNormal);
+
+ private:
+  Kernel* kernel_;
+  std::string name_;
+  CpuSet cpus_;
+  std::vector<Task*> members_;
+  std::vector<CpuSet> saved_affinity_;
+};
+
+}  // namespace taichi::os
+
+#endif  // SRC_OS_CGROUP_H_

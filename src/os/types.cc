@@ -1,0 +1,37 @@
+#include "src/os/types.h"
+
+namespace taichi::os {
+
+const char* ToString(GuestExitReason reason) {
+  switch (reason) {
+    case GuestExitReason::kExternalInterrupt:
+      return "external-interrupt";
+    case GuestExitReason::kHalt:
+      return "halt";
+    case GuestExitReason::kIpiSend:
+      return "ipi-send";
+    case GuestExitReason::kPreemptionTimer:
+      return "preemption-timer";
+    case GuestExitReason::kForced:
+      return "forced";
+  }
+  return "?";
+}
+
+std::string CpuSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < 64; ++i) {
+    if (Test(i)) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(i);
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace taichi::os

@@ -1,0 +1,94 @@
+// Shared OS-layer vocabulary: CPU ids, priorities, affinity sets, IPI types
+// and guest-mode exit reasons.
+#ifndef SRC_OS_TYPES_H_
+#define SRC_OS_TYPES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace taichi::os {
+
+using CpuId = int32_t;
+inline constexpr CpuId kInvalidCpu = -1;
+
+using TaskId = uint64_t;
+
+enum class CpuKind : uint8_t {
+  kPhysical,  // Backed by silicon at all times.
+  kVirtual,   // A Tai Chi vCPU: backed only while placed on a physical CPU.
+};
+
+// Scheduling classes. Higher value preempts lower (at preemptible points).
+enum class Priority : uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+inline constexpr int kNumPriorities = 3;
+
+// Inter-processor interrupt types the kernel emits. These are routed through
+// the pluggable IpiRouter so Tai Chi can interpose (§4.2).
+enum class IpiType : uint8_t {
+  kResched,       // Wake/reschedule the destination CPU.
+  kBoot,          // INIT/SIPI bring-up for an offline CPU.
+  kFunctionCall,  // smp_call_function-style cross call.
+};
+
+// Why a physical CPU left guest mode (VM-exit).
+enum class GuestExitReason : uint8_t {
+  kExternalInterrupt,  // A hardware IRQ targeted the physical CPU.
+  kHalt,               // The vCPU ran out of work and executed HLT.
+  kIpiSend,            // The guest attempted to send an IPI (source intercept).
+  kPreemptionTimer,    // The vCPU time slice expired.
+  kForced,             // The controller forced the exit for its own reasons.
+};
+
+const char* ToString(GuestExitReason reason);
+
+// CPU affinity mask over up to 64 CPUs — ample for a SmartNIC plus vCPUs.
+class CpuSet {
+ public:
+  constexpr CpuSet() = default;
+  constexpr explicit CpuSet(uint64_t bits) : bits_(bits) {}
+
+  static constexpr CpuSet All(int n) {
+    return CpuSet(n >= 64 ? ~0ULL : ((1ULL << n) - 1));
+  }
+  static constexpr CpuSet Range(int lo, int hi_exclusive) {
+    uint64_t bits = 0;
+    for (int i = lo; i < hi_exclusive; ++i) {
+      bits |= 1ULL << i;
+    }
+    return CpuSet(bits);
+  }
+  static CpuSet Of(std::initializer_list<CpuId> ids) {
+    CpuSet s;
+    for (CpuId id : ids) {
+      s.Set(id);
+    }
+    return s;
+  }
+
+  void Set(CpuId id) { bits_ |= 1ULL << id; }
+  void Clear(CpuId id) { bits_ &= ~(1ULL << id); }
+  constexpr bool Test(CpuId id) const { return (bits_ >> id) & 1; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int count() const { return __builtin_popcountll(bits_); }
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr CpuSet operator|(CpuSet other) const { return CpuSet(bits_ | other.bits_); }
+  constexpr CpuSet operator&(CpuSet other) const { return CpuSet(bits_ & other.bits_); }
+  constexpr bool operator==(const CpuSet&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace taichi::os
+
+#endif  // SRC_OS_TYPES_H_

@@ -1,0 +1,44 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace taichi::sim {
+
+EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // The heap entry is skipped lazily when it reaches the top.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  const_cast<EventQueue*>(this)->SkimCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; the entry is moved out via the
+  // usual const_cast idiom, then immediately popped.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, top.id, std::move(top.fn)};
+  pending_.erase(fired.id);
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace taichi::sim

@@ -1,0 +1,83 @@
+// A cancellable discrete-event queue ordered by (time, insertion sequence).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace taichi::sim {
+
+// Identifies a scheduled event so it can be cancelled before it fires.
+// Id 0 is never allocated and acts as "no event".
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// Min-heap of timed callbacks. Events at equal times fire in insertion order,
+// which keeps simulations deterministic. Not thread-safe: the whole simulator
+// is single-threaded by design.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `when`. Returns a handle usable
+  // with Cancel() until the event has fired.
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a harmless no-op. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  // True if `id` is scheduled and not yet fired or cancelled.
+  bool IsPending(EventId id) const { return pending_.contains(id); }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  // Time of the earliest pending event. Only valid when !empty().
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest pending event. Only valid when !empty().
+  struct Fired {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired PopNext();
+
+  // Total events scheduled since construction (fired, pending or cancelled).
+  uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // Doubles as the insertion-order tiebreaker.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Drops entries whose id is no longer pending (i.e. cancelled) off the
+  // heap top.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace taichi::sim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

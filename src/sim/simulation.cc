@@ -1,0 +1,26 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+
+namespace taichi::sim {
+
+EventId Simulation::At(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.NextTime() <= deadline) {
+    EventQueue::Fired fired = queue_.PopNext();
+    assert(fired.when >= now_ && "event queue went backwards");
+    now_ = fired.when;
+    ++events_executed_;
+    fired.fn();
+  }
+  if (!stopped_ && now_ < deadline && deadline != std::numeric_limits<SimTime>::max()) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace taichi::sim

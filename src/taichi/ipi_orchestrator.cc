@@ -1,0 +1,76 @@
+#include "src/taichi/ipi_orchestrator.h"
+
+#include "src/taichi/vcpu_scheduler.h"
+
+namespace taichi::core {
+
+void IpiOrchestrator::Route(os::CpuId from, os::CpuId to, os::IpiType type) {
+  ++routed_;
+  // Source phase (Fig. 8b): an IPI emitted from code running in a vCPU
+  // context cannot reach the LAPIC directly; trigger a VM-exit and let the
+  // vCPU scheduler reissue it.
+  if (from != os::kInvalidCpu && kernel_->cpu_kind(from) == os::CpuKind::kVirtual &&
+      kernel_->cpu_backed(from)) {
+    auto& pending = pending_reissue_[from];
+    pending.push_back({to, type});
+    if (pending.size() == 1) {
+      ++vcpu_source_exits_;
+      os::CpuId backer = kernel_->backer_of(from);
+      kernel_->ExitGuest(backer, os::GuestExitReason::kIpiSend);
+    }
+    return;
+  }
+  Deliver(from, to, type);
+}
+
+void IpiOrchestrator::Deliver(os::CpuId from, os::CpuId to, os::IpiType type) {
+  // Destination phase.
+  if (kernel_->cpu_kind(to) == os::CpuKind::kPhysical) {
+    // "IPIs are delivered via low-level MSR writes": the real LAPIC path.
+    os::CpuId phys_from =
+        (from != os::kInvalidCpu && kernel_->cpu_kind(from) == os::CpuKind::kPhysical)
+            ? from
+            : os::kInvalidCpu;
+    kernel_->RouteDefault(phys_from, to, type);
+    return;
+  }
+
+  // Virtual destination.
+  if (type == os::IpiType::kBoot) {
+    // vCPU bring-up (Fig. 8a): the boot IPI sequence initializes the vCPU
+    // and brings it online as a native CPU.
+    if (!kernel_->cpu_online(to)) {
+      kernel_->sim().Schedule(kernel_->config().boot_cost,
+                              [this, to] { kernel_->MarkCpuOnline(to); });
+    }
+    return;
+  }
+  if (kernel_->cpu_backed(to)) {
+    // Running/backed vCPU: inject directly (posted interrupt).
+    ++posted_injections_;
+    kernel_->sim().Schedule(kernel_->machine().apic().delivery_latency(),
+                            [this, to, type] { kernel_->HandleIpiAt(to, type); });
+    return;
+  }
+  // Sleeping or runnable-but-unplaced vCPU: pend the interrupt and wake the
+  // vCPU through the scheduler.
+  ++sleeping_vcpu_wakes_;
+  kernel_->HandleIpiAt(to, type);
+  if (scheduler_ != nullptr) {
+    scheduler_->OnVcpuKicked(to);
+  }
+}
+
+void IpiOrchestrator::FlushPendingFrom(os::CpuId vcpu) {
+  auto it = pending_reissue_.find(vcpu);
+  if (it == pending_reissue_.end()) {
+    return;
+  }
+  std::deque<PendingIpi> pending = std::move(it->second);
+  pending_reissue_.erase(it);
+  for (const PendingIpi& ipi : pending) {
+    Deliver(vcpu, ipi.to, ipi.type);
+  }
+}
+
+}  // namespace taichi::core

@@ -1,0 +1,59 @@
+#include "src/taichi/sw_probe.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/taichi/vcpu_scheduler.h"
+
+namespace taichi::core {
+
+void SwWorkloadProbe::RegisterDpService(os::CpuId dp_cpu, std::function<bool()> is_idle) {
+  ServiceState state;
+  state.is_idle = std::move(is_idle);
+  state.threshold = config_.initial_yield_threshold;
+  services_[dp_cpu] = std::move(state);
+}
+
+void SwWorkloadProbe::NotifyIdleDpCpuCycles(os::CpuId dp_cpu) {
+  ++notifications_;
+  if (scheduler_ != nullptr) {
+    scheduler_->OnDpIdle(dp_cpu);
+  }
+}
+
+uint32_t SwWorkloadProbe::yield_threshold(os::CpuId dp_cpu) const {
+  auto it = services_.find(dp_cpu);
+  return it != services_.end() ? it->second.threshold : config_.initial_yield_threshold;
+}
+
+void SwWorkloadProbe::OnSustainedIdle(os::CpuId dp_cpu) {
+  ++sustained_idles_;
+  if (!config_.adaptive_yield_threshold) {
+    return;
+  }
+  auto it = services_.find(dp_cpu);
+  if (it != services_.end()) {
+    it->second.threshold = std::max(it->second.threshold / 2, config_.min_yield_threshold);
+  }
+}
+
+void SwWorkloadProbe::OnFalsePositive(os::CpuId dp_cpu) {
+  ++false_positives_;
+  if (!config_.adaptive_yield_threshold) {
+    return;
+  }
+  auto it = services_.find(dp_cpu);
+  if (it != services_.end()) {
+    it->second.threshold = std::min(it->second.threshold * 2, config_.max_yield_threshold);
+  }
+}
+
+bool SwWorkloadProbe::IsDpIdle(os::CpuId dp_cpu) const {
+  auto it = services_.find(dp_cpu);
+  if (it == services_.end() || !it->second.is_idle) {
+    return false;
+  }
+  return it->second.is_idle();
+}
+
+}  // namespace taichi::core

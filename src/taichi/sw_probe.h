@@ -1,0 +1,65 @@
+// The software workload probe (§4.3): data-plane services report consecutive
+// empty polls; once the adaptive threshold N is crossed the probe notifies
+// the vCPU scheduler that a DP CPU has idle cycles to donate. N adapts on
+// VM-exit reasons — halved on sustained idleness, doubled on false-positive
+// yields (hardware-probe preemptions).
+#ifndef SRC_TAICHI_SW_PROBE_H_
+#define SRC_TAICHI_SW_PROBE_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/os/types.h"
+#include "src/taichi/config.h"
+
+namespace taichi::core {
+
+class VcpuScheduler;
+
+class SwWorkloadProbe {
+ public:
+  explicit SwWorkloadProbe(const TaiChiConfig& config) : config_(config) {}
+
+  void set_scheduler(VcpuScheduler* scheduler) { scheduler_ = scheduler; }
+
+  // Registers the DP service polling on `dp_cpu`. `is_idle` must return
+  // true when the service has no pending work (all rings empty); the vCPU
+  // scheduler consults it before switching contexts onto that CPU.
+  void RegisterDpService(os::CpuId dp_cpu, std::function<bool()> is_idle);
+
+  // The paper's notify_idle_DP_CPU_cycles() API (Fig. 9, line 14): the DP
+  // service on `dp_cpu` observed N consecutive empty polls.
+  void NotifyIdleDpCpuCycles(os::CpuId dp_cpu);
+
+  // Current empty-poll threshold for the service on `dp_cpu`.
+  uint32_t yield_threshold(os::CpuId dp_cpu) const;
+
+  // Adaptation callbacks, invoked by the vCPU scheduler from its VM-exit
+  // handler (§4.3).
+  void OnSustainedIdle(os::CpuId dp_cpu);   // Slice-expiry exit: N /= 2.
+  void OnFalsePositive(os::CpuId dp_cpu);   // HW-probe preemption: N *= 2.
+
+  bool IsDpIdle(os::CpuId dp_cpu) const;
+  bool HasDpService(os::CpuId dp_cpu) const { return services_.contains(dp_cpu); }
+
+  uint64_t notifications() const { return notifications_; }
+  uint64_t false_positives() const { return false_positives_; }
+  uint64_t sustained_idles() const { return sustained_idles_; }
+
+ private:
+  struct ServiceState {
+    std::function<bool()> is_idle;
+    uint32_t threshold = 0;
+  };
+
+  const TaiChiConfig& config_;
+  VcpuScheduler* scheduler_ = nullptr;
+  std::unordered_map<os::CpuId, ServiceState> services_;
+  uint64_t notifications_ = 0;
+  uint64_t false_positives_ = 0;
+  uint64_t sustained_idles_ = 0;
+};
+
+}  // namespace taichi::core
+
+#endif  // SRC_TAICHI_SW_PROBE_H_

@@ -1,0 +1,32 @@
+#include "src/taichi/taichi.h"
+
+namespace taichi::core {
+
+TaiChi::TaiChi(os::Kernel* kernel, TaiChiConfig config)
+    : kernel_(kernel), config_(config) {
+  mux_ = std::make_unique<virt::GuestExitMux>(kernel_);
+  pool_ = std::make_unique<virt::VcpuPool>(kernel_, config_.num_vcpus);
+  orchestrator_ = std::make_unique<IpiOrchestrator>(kernel_);
+  sw_probe_ = std::make_unique<SwWorkloadProbe>(config_);
+  scheduler_ = std::make_unique<VcpuScheduler>(kernel_, pool_.get(), mux_.get(),
+                                               sw_probe_.get(), &kernel_->machine().probe(),
+                                               config_);
+  scheduler_->set_orchestrator(orchestrator_.get());
+  orchestrator_->set_scheduler(scheduler_.get());
+
+  // Install the ~30-line hardware probe firmware into the accelerator.
+  hw::HwWorkloadProbe& probe = kernel_->machine().probe();
+  probe.set_enabled(config_.hw_probe_enabled);
+  kernel_->machine().accelerator().set_probe(&probe);
+
+  // Bring the vCPUs online: boot IPIs flow through the orchestrator.
+  pool_->OnlineAll();
+}
+
+TaiChi::~TaiChi() {
+  kernel_->machine().accelerator().set_probe(nullptr);
+  kernel_->set_guest_exit_handler(nullptr);
+  kernel_->set_guest_halt_handler(nullptr);
+}
+
+}  // namespace taichi::core

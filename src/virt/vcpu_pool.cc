@@ -1,0 +1,22 @@
+#include "src/virt/vcpu_pool.h"
+
+namespace taichi::virt {
+
+VcpuPool::VcpuPool(os::Kernel* kernel, int count, hw::ApicId apic_base) : kernel_(kernel) {
+  vcpus_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    VcpuInfo info;
+    info.apic_id = apic_base + static_cast<hw::ApicId>(i);
+    info.cpu = kernel_->RegisterCpu(os::CpuKind::kVirtual, info.apic_id);
+    cpu_set_.Set(info.cpu);
+    vcpus_.push_back(info);
+  }
+}
+
+void VcpuPool::OnlineAll() {
+  for (const VcpuInfo& v : vcpus_) {
+    kernel_->OnlineCpu(v.cpu);
+  }
+}
+
+}  // namespace taichi::virt

@@ -1,0 +1,47 @@
+// A pool of virtual CPUs registered with the SmartNIC OS.
+//
+// The pool only owns identity (OS CpuId + synthetic LAPIC id, the vCPU
+// metadata of Fig. 8a); scheduling policy lives in taichi::VcpuScheduler and
+// execution mechanics in os::Kernel's guest mode.
+#ifndef SRC_VIRT_VCPU_POOL_H_
+#define SRC_VIRT_VCPU_POOL_H_
+
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/os/types.h"
+
+namespace taichi::virt {
+
+// Synthetic LAPIC ids for vCPUs start here, far above any physical CPU.
+inline constexpr hw::ApicId kVcpuApicBase = 1000;
+
+struct VcpuInfo {
+  os::CpuId cpu = os::kInvalidCpu;
+  hw::ApicId apic_id = hw::kInvalidApicId;
+};
+
+class VcpuPool {
+ public:
+  // Registers `count` virtual CPUs with the kernel. They start offline;
+  // bring-up happens via Kernel::OnlineCpu, whose boot IPIs the installed
+  // IPI router intercepts.
+  VcpuPool(os::Kernel* kernel, int count, hw::ApicId apic_base = kVcpuApicBase);
+
+  const std::vector<VcpuInfo>& vcpus() const { return vcpus_; }
+  int size() const { return static_cast<int>(vcpus_.size()); }
+  os::CpuSet cpu_set() const { return cpu_set_; }
+  bool contains(os::CpuId cpu) const { return cpu_set_.Test(cpu); }
+
+  // Requests bring-up of every vCPU in the pool.
+  void OnlineAll();
+
+ private:
+  os::Kernel* kernel_;
+  std::vector<VcpuInfo> vcpus_;
+  os::CpuSet cpu_set_;
+};
+
+}  // namespace taichi::virt
+
+#endif  // SRC_VIRT_VCPU_POOL_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/mysql_sim.h"
+#include "src/apps/nginx_sim.h"
+
+namespace taichi::apps {
+namespace {
+
+std::unique_ptr<exp::Testbed> Bed(uint64_t seed = 3) {
+  exp::TestbedConfig cfg;
+  cfg.mode = exp::Mode::kBaseline;
+  cfg.seed = seed;
+  return std::make_unique<exp::Testbed>(cfg);
+}
+
+TEST(MysqlSimTest, ProducesThroughputAndLatency) {
+  auto bed = Bed();
+  MysqlConfig cfg;
+  cfg.threads = 64;
+  MysqlSim mysql(bed.get(), cfg);
+  MysqlResult r = mysql.Run(sim::Millis(80), sim::Millis(20));
+  EXPECT_GT(r.avg_qps, 10000.0);
+  EXPECT_GE(r.max_qps, r.avg_qps * 0.9);
+  EXPECT_NEAR(r.avg_tps, r.avg_qps / cfg.queries_per_transaction, 1.0);
+  // A query takes at least one network round trip plus server compute.
+  EXPECT_GT(r.query_latency_us.mean(), 30.0);
+}
+
+TEST(MysqlSimTest, StorageQueriesAreSlower) {
+  auto bed_io = Bed();
+  MysqlConfig with_io;
+  with_io.threads = 32;
+  with_io.storage_io_prob = 1.0;
+  MysqlResult io_result = MysqlSim(bed_io.get(), with_io).Run(sim::Millis(60), sim::Millis(20));
+
+  auto bed_noio = Bed();
+  MysqlConfig no_io;
+  no_io.threads = 32;
+  no_io.storage_io_prob = 0.0;
+  MysqlResult mem_result =
+      MysqlSim(bed_noio.get(), no_io).Run(sim::Millis(60), sim::Millis(20));
+
+  EXPECT_GT(io_result.query_latency_us.mean(),
+            mem_result.query_latency_us.mean() + 50.0);  // Backend latency visible.
+  EXPECT_LT(io_result.avg_qps, mem_result.avg_qps);
+}
+
+TEST(NginxSimTest, LongConnectionsFasterThanShort) {
+  auto bed_long = Bed();
+  NginxConfig long_cfg;
+  long_cfg.connections = 200;
+  NginxResult long_result =
+      NginxSim(bed_long.get(), long_cfg).Run(sim::Millis(60), sim::Millis(20));
+
+  auto bed_short = Bed();
+  NginxConfig short_cfg;
+  short_cfg.connections = 200;
+  short_cfg.short_connection = true;
+  NginxResult short_result =
+      NginxSim(bed_short.get(), short_cfg).Run(sim::Millis(60), sim::Millis(20));
+
+  EXPECT_GT(long_result.requests_per_sec, short_result.requests_per_sec * 1.5);
+  EXPECT_GT(short_result.request_latency_us.mean(), long_result.request_latency_us.mean());
+}
+
+TEST(NginxSimTest, HttpsShortPaysHandshake) {
+  auto bed_http = Bed();
+  NginxConfig http;
+  http.connections = 200;
+  http.short_connection = true;
+  NginxResult http_result = NginxSim(bed_http.get(), http).Run(sim::Millis(60), sim::Millis(20));
+
+  auto bed_https = Bed();
+  NginxConfig https = http;
+  https.https = true;
+  NginxResult https_result =
+      NginxSim(bed_https.get(), https).Run(sim::Millis(60), sim::Millis(20));
+
+  EXPECT_LT(https_result.requests_per_sec, http_result.requests_per_sec);
+}
+
+TEST(NginxSimTest, HttpsLongAmortizesHandshake) {
+  auto bed_http = Bed();
+  NginxConfig http;
+  http.connections = 200;
+  NginxResult http_result = NginxSim(bed_http.get(), http).Run(sim::Millis(60), sim::Millis(20));
+
+  auto bed_https = Bed();
+  NginxConfig https = http;
+  https.https = true;
+  NginxResult https_result =
+      NginxSim(bed_https.get(), https).Run(sim::Millis(60), sim::Millis(20));
+  // Keep-alive HTTPS matches HTTP once established (no per-request TLS cost).
+  EXPECT_NEAR(https_result.requests_per_sec / http_result.requests_per_sec, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace taichi::apps

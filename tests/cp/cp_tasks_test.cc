@@ -1,0 +1,168 @@
+// Tests for the control-plane task models: profiles, synth_cp, device
+// manager (VM startup) and monitors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cp/cp_profiles.h"
+#include "src/cp/device_manager.h"
+#include "src/cp/monitor.h"
+#include "src/cp/synth_cp.h"
+#include "src/hw/machine.h"
+#include "src/os/kernel.h"
+
+namespace taichi::cp {
+namespace {
+
+class CpTest : public ::testing::Test {
+ protected:
+  CpTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 4;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<os::Kernel> kernel_;
+};
+
+TEST(RoutineSamplerTest, MatchesFig5Mixture) {
+  CpWorkProfile profile;  // Defaults follow Fig. 5.
+  sim::Rng rng(7);
+  int total = 200000;
+  int over_1ms = 0;
+  int band_1_5 = 0;
+  double max_ms = 0;
+  for (int i = 0; i < total; ++i) {
+    double ms = sim::ToMillis(SampleRoutineDuration(profile, rng));
+    max_ms = std::max(max_ms, ms);
+    if (ms >= 1.0) {
+      ++over_1ms;
+      if (ms < 5.0) {
+        ++band_1_5;
+      }
+    }
+  }
+  // ~10% of routines are long; of those ~94.5% in 1-5 ms; max near 67 ms.
+  EXPECT_NEAR(static_cast<double>(over_1ms) / total, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(band_1_5) / over_1ms, 0.945, 0.02);
+  EXPECT_GT(max_ms, 30.0);
+  EXPECT_LE(max_ms, 67.0 + 1e-6);
+}
+
+TEST_F(CpTest, CpTaskRunsIterations) {
+  CpWorkProfile profile;
+  profile.user_compute_mean = sim::Micros(50);
+  profile.short_routine_prob = 1.0;
+  profile.short_max = sim::Micros(20);
+  auto behavior = MakeCpTask(profile, /*iterations=*/10, 3);
+  CpTaskBehavior* raw = behavior.get();
+  os::Task* t = kernel_->Spawn("cp", std::move(behavior), os::CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(50));
+  EXPECT_EQ(t->state(), os::TaskState::kExited);
+  EXPECT_EQ(raw->completed_iterations(), 10u);
+}
+
+TEST_F(CpTest, CpTaskUsesLockWhenConfigured) {
+  os::KernelSpinlock lock("driver");
+  CpWorkProfile profile;
+  profile.user_compute_mean = sim::Micros(20);
+  profile.short_routine_prob = 1.0;
+  profile.short_max = sim::Micros(20);
+  profile.lock = &lock;
+  profile.lock_prob = 1.0;
+  os::Task* t = kernel_->Spawn("cp", MakeCpTask(profile, 5, 3), os::CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(50));
+  EXPECT_EQ(t->state(), os::TaskState::kExited);
+  EXPECT_EQ(lock.acquisitions(), 5u);
+  EXPECT_FALSE(lock.held());
+}
+
+TEST_F(CpTest, SynthCpTaskDemandMatchesConfig) {
+  SynthCpConfig cfg;
+  cfg.task_demand = sim::Millis(50);
+  SynthCpBenchmark bench(kernel_.get(), cfg, 7);
+  bench.Launch(1, os::CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(200));
+  ASSERT_TRUE(bench.AllDone());
+  // One task alone on a CPU: execution time ~ demand (plus small overheads).
+  EXPECT_NEAR(bench.exec_time_ms().mean(), 50.0, 2.5);
+}
+
+TEST_F(CpTest, SynthCpConcurrencyQueues) {
+  SynthCpBenchmark bench(kernel_.get(), SynthCpConfig{}, 7);
+  bench.Launch(8, os::CpuSet::Of({0, 1}));  // 8 tasks, 2 CPUs.
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(bench.AllDone());
+  // Round-robin sharing: everyone takes ~4x as long as alone.
+  EXPECT_GT(bench.exec_time_ms().mean(), 150.0);
+  EXPECT_EQ(bench.done(), 8);
+}
+
+TEST_F(CpTest, VmStartupWorkflowCompletes) {
+  DeviceManager dm(kernel_.get(), VmStartupConfig{}, 5);
+  bool done = false;
+  sim::Duration latency = 0;
+  dm.StartVm(os::CpuSet::Of({0}), [&](sim::Duration d) {
+    done = true;
+    latency = d;
+  });
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(dm.AllDone());
+  // 6 devices x (1ms user + ~0.4ms kernel + 0.12ms coord) + parse + notify.
+  EXPECT_GT(sim::ToMillis(latency), 5.0);
+  EXPECT_LT(sim::ToMillis(latency), 20.0);
+  EXPECT_EQ(dm.startup_ms().count(), 1u);
+}
+
+TEST_F(CpTest, VmStartupScalesWithDevices) {
+  VmStartupConfig small;
+  small.devices_per_vm = 4;
+  VmStartupConfig large;
+  large.devices_per_vm = 16;
+  DeviceManager dm_small(kernel_.get(), small, 5);
+  DeviceManager dm_large(kernel_.get(), large, 5);
+  dm_small.StartVm(os::CpuSet::Of({0}));
+  dm_large.StartVm(os::CpuSet::Of({1}));
+  sim_.RunFor(sim::Seconds(1));
+  ASSERT_TRUE(dm_small.AllDone());
+  ASSERT_TRUE(dm_large.AllDone());
+  EXPECT_GT(dm_large.startup_ms().mean(), dm_small.startup_ms().mean() * 2.5);
+}
+
+TEST_F(CpTest, ConcurrentStartupsContendOnDriverLocks) {
+  VmStartupConfig cfg;
+  cfg.lock_shards = 1;  // Worst case: one global driver lock.
+  cfg.dev_kernel_min = sim::Millis(1);
+  cfg.dev_kernel_max = sim::Millis(1);
+  DeviceManager dm(kernel_.get(), cfg, 5);
+  for (int i = 0; i < 4; ++i) {
+    dm.StartVm(os::CpuSet::Of({i}));
+  }
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(dm.AllDone());
+  // Serialized kernel sections push the average well beyond the solo time.
+  DeviceManager solo(kernel_.get(), cfg, 6);
+  solo.StartVm(os::CpuSet::Of({0}));
+  sim_.RunFor(sim::Seconds(1));
+  ASSERT_TRUE(solo.AllDone());
+  EXPECT_GT(dm.startup_ms().mean(), solo.startup_ms().mean() * 1.5);
+}
+
+TEST_F(CpTest, MonitorFleetStaysResident) {
+  MonitorFleetConfig cfg;
+  cfg.count = 3;
+  auto tasks = SpawnMonitorFleet(kernel_.get(), cfg, os::CpuSet::Of({0, 1}), nullptr, 11);
+  ASSERT_EQ(tasks.size(), 3u);
+  sim_.RunFor(sim::Millis(200));
+  for (os::Task* t : tasks) {
+    EXPECT_NE(t->state(), os::TaskState::kExited);
+    EXPECT_GT(t->cpu_time(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace taichi::cp

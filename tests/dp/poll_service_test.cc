@@ -1,0 +1,173 @@
+#include "src/dp/poll_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hw/machine.h"
+#include "src/os/behaviors.h"
+
+namespace taichi::dp {
+namespace {
+
+class PollServiceTest : public ::testing::Test {
+ protected:
+  PollServiceTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 2;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
+  }
+
+  PollService* MakeService(YieldPolicy policy, PollServiceConfig cfg = {}) {
+    service_ = std::make_unique<PollService>(0, cfg, policy);
+    service_->AttachRing(&ring_);
+    service_->set_sink([this](const hw::IoPacket& pkt, sim::SimTime t) {
+      delivered_.push_back({pkt, t});
+    });
+    os::Task* task = kernel_->Spawn("dp", std::make_unique<os::BehaviorRef>(service_.get()),
+                                    os::CpuSet::Of({0}), os::Priority::kHigh);
+    service_->BindTask(kernel_.get(), task);
+    return service_.get();
+  }
+
+  void Push(uint64_t id, uint32_t bytes = 64) {
+    hw::IoPacket pkt;
+    pkt.id = id;
+    pkt.size_bytes = bytes;
+    pkt.ring_push = sim_.Now();
+    ring_.Push(pkt);
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<os::Kernel> kernel_;
+  hw::DescriptorRing ring_;
+  std::unique_ptr<PollService> service_;
+  std::vector<std::pair<hw::IoPacket, sim::SimTime>> delivered_;
+};
+
+TEST_F(PollServiceTest, ProcessesAndDeliversPackets) {
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  sim_.RunFor(sim::Micros(10));
+  Push(1);
+  Push(2);
+  sim_.RunFor(sim::Micros(50));
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0].first.id, 1u);
+  EXPECT_EQ(delivered_[1].first.id, 2u);
+  EXPECT_EQ(svc->packets_processed(), 2u);
+  EXPECT_GT(svc->work_time(), 0u);
+}
+
+TEST_F(PollServiceTest, ProcessingCostScalesWithBytes) {
+  PollServiceConfig cfg;
+  cfg.per_packet_base_cost = sim::Nanos(1000);
+  cfg.ns_per_byte = 1.0;
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll, cfg);
+  sim_.RunFor(sim::Micros(10));
+  Push(1, 64);
+  sim_.RunFor(sim::Millis(1));
+  sim::Duration small = svc->work_time();
+  Push(2, 1400);
+  sim_.RunFor(sim::Millis(1));
+  sim::Duration big = svc->work_time() - small;
+  EXPECT_GT(big, small);
+  EXPECT_NEAR(static_cast<double>(big), 1000.0 + 1400.0, 50.0);
+}
+
+TEST_F(PollServiceTest, DpCostHintAddsWork) {
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  sim_.RunFor(sim::Micros(10));
+  hw::IoPacket pkt;
+  pkt.id = 9;
+  pkt.size_bytes = 64;
+  pkt.dp_cost_hint = 5000;
+  pkt.ring_push = sim_.Now();
+  ring_.Push(pkt);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_GE(svc->work_time(), 5000u);
+}
+
+TEST_F(PollServiceTest, BurstBounded) {
+  PollServiceConfig cfg;
+  cfg.burst_size = 4;
+  MakeService(YieldPolicy::kBusyPoll, cfg);
+  sim_.RunFor(sim::Micros(10));
+  for (uint64_t i = 0; i < 10; ++i) {
+    Push(i);
+  }
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(delivered_.size(), 10u);  // All processed across bursts.
+}
+
+TEST_F(PollServiceTest, VirtTaxInflatesWork) {
+  PollServiceConfig plain_cfg;
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll, plain_cfg);
+  sim_.RunFor(sim::Micros(10));
+  Push(1);
+  sim_.RunFor(sim::Millis(1));
+  sim::Duration plain = svc->work_time();
+
+  delivered_.clear();
+  PollServiceConfig taxed_cfg;
+  taxed_cfg.virt_work_tax = 0.10;
+  // Fresh kernel state: new service on CPU 1.
+  auto taxed = std::make_unique<PollService>(1, taxed_cfg, YieldPolicy::kBusyPoll);
+  hw::DescriptorRing ring2;
+  taxed->AttachRing(&ring2);
+  taxed->set_sink([](const hw::IoPacket&, sim::SimTime) {});
+  os::Task* task = kernel_->Spawn("dp2", std::make_unique<os::BehaviorRef>(taxed.get()),
+                                  os::CpuSet::Of({1}), os::Priority::kHigh);
+  taxed->BindTask(kernel_.get(), task);
+  sim_.RunFor(sim::Micros(10));
+  hw::IoPacket pkt;
+  pkt.id = 1;
+  pkt.size_bytes = 64;
+  pkt.ring_push = sim_.Now();
+  ring2.Push(pkt);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_NEAR(static_cast<double>(taxed->work_time()), static_cast<double>(plain) * 1.10,
+              static_cast<double>(plain) * 0.02);
+}
+
+TEST_F(PollServiceTest, IsIdleTracksRings) {
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  EXPECT_TRUE(svc->IsIdle());
+  Push(1);
+  EXPECT_FALSE(svc->IsIdle());
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_TRUE(svc->IsIdle());
+}
+
+TEST_F(PollServiceTest, QueueDelayMeasured) {
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  sim_.RunFor(sim::Micros(10));
+  Push(1);
+  sim_.RunFor(sim::Millis(1));
+  ASSERT_EQ(svc->queue_delay_us().count(), 1u);
+  // Picked up promptly by the busy poller.
+  EXPECT_LT(svc->queue_delay_us().mean(), 5.0);
+}
+
+TEST_F(PollServiceTest, BlockOnIdlePolicySleepsAndWakes) {
+  PollService* svc = MakeService(YieldPolicy::kBlockOnIdle);
+  sim_.RunFor(sim::Millis(5));
+  // After the empty-poll threshold the service blocks.
+  EXPECT_EQ(svc->task()->state(), os::TaskState::kBlocked);
+  EXPECT_GT(svc->yields(), 0u);
+  Push(1);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(PollServiceTest, BusyPollPolicyNeverBlocks) {
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(svc->task()->state(), os::TaskState::kRunning);
+  os::CpuAccounting acct = kernel_->GetAccounting(0);
+  EXPECT_GT(acct.busy, sim::Millis(4));
+}
+
+}  // namespace
+}  // namespace taichi::dp

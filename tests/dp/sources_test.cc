@@ -1,0 +1,110 @@
+#include "src/dp/sources.h"
+
+#include <gtest/gtest.h>
+
+namespace taichi::dp {
+namespace {
+
+class SourcesTest : public ::testing::Test {
+ protected:
+  SourcesTest() : accel_(&sim_, {}) { queue_ = accel_.AddQueue(0); }
+
+  sim::Simulation sim_;
+  hw::Accelerator accel_;
+  uint32_t queue_ = 0;
+};
+
+TEST_F(SourcesTest, PoissonRateConverges) {
+  OpenLoopConfig cfg;
+  cfg.rate_pps = 100000;
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  src.Start();
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_NEAR(static_cast<double>(src.injected()), 100000.0, 3000.0);
+}
+
+TEST_F(SourcesTest, ConstantRateIsExact) {
+  OpenLoopConfig cfg;
+  cfg.rate_pps = 10000;
+  cfg.process = OpenLoopConfig::Process::kConstant;
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  src.Start();
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_NEAR(static_cast<double>(src.injected()), 10000.0, 2.0);
+}
+
+TEST_F(SourcesTest, MmppAveragesBetweenStates) {
+  OpenLoopConfig cfg;
+  cfg.rate_pps = 10000;
+  cfg.process = OpenLoopConfig::Process::kMmpp;
+  cfg.burst_multiplier = 10.0;
+  cfg.burst_mean = sim::Millis(5);
+  cfg.calm_mean = sim::Millis(5);
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  src.Start();
+  sim_.RunFor(sim::Seconds(2));
+  double rate = static_cast<double>(src.injected()) / 2.0;
+  // Expected mean: 50/50 duty between 10k and 100k = 55k pps.
+  EXPECT_GT(rate, 35000.0);
+  EXPECT_LT(rate, 75000.0);
+}
+
+TEST_F(SourcesTest, StopHaltsInjection) {
+  OpenLoopConfig cfg;
+  cfg.rate_pps = 100000;
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  src.Start();
+  sim_.RunFor(sim::Millis(100));
+  src.Stop();
+  uint64_t at_stop = src.injected();
+  sim_.RunFor(sim::Millis(100));
+  EXPECT_EQ(src.injected(), at_stop);
+}
+
+TEST_F(SourcesTest, DeliveryStatsTrackLatency) {
+  OpenLoopConfig cfg;
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  hw::IoPacket pkt;
+  pkt.created = 0;
+  sim_.RunFor(sim::Micros(25));
+  src.OnDelivered(pkt, sim_.Now());
+  EXPECT_EQ(src.delivered(), 1u);
+  EXPECT_NEAR(src.latency_us().mean(), 25.0, 0.01);
+}
+
+TEST_F(SourcesTest, PacketsCarryConfiguredIdentity) {
+  OpenLoopConfig cfg;
+  cfg.rate_pps = 1e6;
+  cfg.size_bytes = 777;
+  cfg.flow = 3;
+  cfg.user_tag = 0xabc;
+  cfg.kind = hw::IoKind::kNetTx;
+  OpenLoopSource src(&sim_, &accel_, queue_, cfg, 1);
+  src.Start();
+  sim_.RunFor(sim::Millis(1));
+  ASSERT_GT(accel_.ring(queue_).size(), 0u);
+  std::vector<hw::IoPacket> out;
+  accel_.ring(queue_).PopBurst(1, std::back_inserter(out));
+  EXPECT_EQ(out[0].size_bytes, 777u);
+  EXPECT_EQ(out[0].flow, 3u);
+  EXPECT_EQ(out[0].user_tag, 0xabcu);
+  EXPECT_EQ(out[0].kind, hw::IoKind::kNetTx);
+}
+
+TEST_F(SourcesTest, SameSeedDeterministic) {
+  auto run = [this](uint64_t seed) {
+    OpenLoopConfig cfg;
+    cfg.rate_pps = 50000;
+    sim::Simulation local(seed);
+    hw::Accelerator accel(&local, {});
+    uint32_t q = accel.AddQueue(0);
+    OpenLoopSource src(&local, &accel, q, cfg, seed);
+    src.Start();
+    local.RunFor(sim::Millis(100));
+    return src.injected();
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+}  // namespace
+}  // namespace taichi::dp

@@ -1,0 +1,97 @@
+#include "src/hw/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+namespace {
+
+IoPacket Pkt(uint64_t id, sim::SimTime created) {
+  IoPacket p;
+  p.id = id;
+  p.created = created;
+  return p;
+}
+
+TEST(AcceleratorTest, PublishesAfterPreprocessingWindow) {
+  sim::Simulation s;
+  AcceleratorConfig cfg;
+  Accelerator acc(&s, cfg);
+  uint32_t q = acc.AddQueue(/*dest_cpu=*/0);
+  acc.Ingress(q, Pkt(1, s.Now()));
+  s.Run();
+  ASSERT_EQ(acc.ring(q).size(), 1u);
+  std::vector<IoPacket> out;
+  acc.ring(q).PopBurst(1, std::back_inserter(out));
+  // 2.7 us preprocess + 0.5 us transfer = 3.2 us (Fig. 6).
+  EXPECT_EQ(out[0].ring_push, sim::MicrosF(3.2));
+}
+
+TEST(AcceleratorTest, PipelinesBackToBackPackets) {
+  sim::Simulation s;
+  AcceleratorConfig cfg;
+  cfg.per_packet_gap = sim::Nanos(100);
+  Accelerator acc(&s, cfg);
+  uint32_t q = acc.AddQueue(0);
+  acc.Ingress(q, Pkt(1, 0));
+  acc.Ingress(q, Pkt(2, 0));
+  s.Run();
+  std::vector<IoPacket> out;
+  acc.ring(q).PopBurst(8, std::back_inserter(out));
+  ASSERT_EQ(out.size(), 2u);
+  // Second packet starts 100 ns later, not 3.2 us later.
+  EXPECT_EQ(out[1].ring_push - out[0].ring_push, sim::Nanos(100));
+}
+
+TEST(AcceleratorTest, ProbeConsultedBeforePreprocessing) {
+  sim::Simulation s;
+  Apic apic(&s, 1);
+  sim::SimTime irq_at = 0;
+  apic.RegisterHandler(0, [&](IrqVector, ApicId) { irq_at = s.Now(); });
+  HwWorkloadProbe probe(&s, &apic, {0});
+  probe.SetState(0, CpuProbeState::kVState);
+
+  Accelerator acc(&s, {});
+  acc.set_probe(&probe);
+  uint32_t q = acc.AddQueue(0);
+  s.Schedule(sim::Micros(10), [&] { acc.Ingress(q, Pkt(1, s.Now())); });
+  s.Run();
+  // The IRQ beats the packet's ring publication by the preprocessing window.
+  EXPECT_EQ(irq_at, sim::Micros(10) + sim::Nanos(1));
+  EXPECT_EQ(acc.packets_published(), 1u);
+}
+
+TEST(AcceleratorTest, QueuesAreIndependent) {
+  sim::Simulation s;
+  Accelerator acc(&s, {});
+  uint32_t q0 = acc.AddQueue(0);
+  uint32_t q1 = acc.AddQueue(5);
+  acc.Ingress(q0, Pkt(1, 0));
+  acc.Ingress(q1, Pkt(2, 0));
+  s.Run();
+  EXPECT_EQ(acc.ring(q0).size(), 1u);
+  EXPECT_EQ(acc.ring(q1).size(), 1u);
+  EXPECT_EQ(acc.dest_cpu(q1), 5u);
+}
+
+TEST(AcceleratorTest, ResidencyStatRecordsWindow) {
+  sim::Simulation s;
+  Accelerator acc(&s, {});
+  uint32_t q = acc.AddQueue(0);
+  acc.Ingress(q, Pkt(1, 0));
+  s.Run();
+  ASSERT_EQ(acc.residency_us().count(), 1u);
+  EXPECT_NEAR(acc.residency_us().mean(), 3.2, 1e-9);
+}
+
+TEST(AcceleratorTest, SetDestCpuRehomesQueue) {
+  sim::Simulation s;
+  Accelerator acc(&s, {});
+  uint32_t q = acc.AddQueue(0);
+  acc.SetDestCpu(q, 3);
+  EXPECT_EQ(acc.dest_cpu(q), 3u);
+}
+
+}  // namespace
+}  // namespace taichi::hw

@@ -1,0 +1,84 @@
+#include "src/hw/apic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+namespace {
+
+TEST(ApicTest, DeliversAfterLatency) {
+  sim::Simulation s;
+  Apic apic(&s, sim::Nanos(400));
+  sim::SimTime delivered_at = 0;
+  apic.RegisterHandler(1, [&](IrqVector, ApicId) { delivered_at = s.Now(); });
+  apic.Send(0, 1, IrqVector::kResched);
+  s.Run();
+  EXPECT_EQ(delivered_at, sim::Nanos(400));
+}
+
+TEST(ApicTest, PassesVectorAndSource) {
+  sim::Simulation s;
+  Apic apic(&s, 1);
+  IrqVector seen_vec = IrqVector::kTimer;
+  ApicId seen_from = 0;
+  apic.RegisterHandler(7, [&](IrqVector v, ApicId from) {
+    seen_vec = v;
+    seen_from = from;
+  });
+  apic.Send(3, 7, IrqVector::kDpWorkload);
+  s.Run();
+  EXPECT_EQ(seen_vec, IrqVector::kDpWorkload);
+  EXPECT_EQ(seen_from, 3u);
+}
+
+TEST(ApicTest, DropsWhenNoHandler) {
+  sim::Simulation s;
+  Apic apic(&s, 1);
+  apic.Send(0, 99, IrqVector::kResched);
+  s.Run();
+  EXPECT_EQ(apic.sent_count(), 1u);
+  EXPECT_EQ(apic.dropped_count(), 1u);
+}
+
+TEST(ApicTest, UnregisterStopsDelivery) {
+  sim::Simulation s;
+  Apic apic(&s, 1);
+  int hits = 0;
+  apic.RegisterHandler(2, [&](IrqVector, ApicId) { ++hits; });
+  apic.Send(0, 2, IrqVector::kResched);
+  s.Run();
+  apic.UnregisterHandler(2);
+  apic.Send(0, 2, IrqVector::kResched);
+  s.Run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(apic.dropped_count(), 1u);
+}
+
+TEST(ApicTest, HandlerRegisteredAtSendButRemovedAtDeliveryDrops) {
+  sim::Simulation s;
+  Apic apic(&s, sim::Micros(1));
+  int hits = 0;
+  apic.RegisterHandler(4, [&](IrqVector, ApicId) { ++hits; });
+  apic.Send(0, 4, IrqVector::kResched);
+  s.Schedule(sim::Nanos(500), [&] { apic.UnregisterHandler(4); });
+  s.Run();
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ApicTest, ManyIpisAllDelivered) {
+  sim::Simulation s;
+  Apic apic(&s, 10);
+  int hits = 0;
+  apic.RegisterHandler(0, [&](IrqVector, ApicId) { ++hits; });
+  for (int i = 0; i < 1000; ++i) {
+    apic.Send(1, 0, IrqVector::kResched);
+  }
+  s.Run();
+  EXPECT_EQ(hits, 1000);
+}
+
+}  // namespace
+}  // namespace taichi::hw

@@ -1,0 +1,72 @@
+#include "src/hw/hw_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+namespace {
+
+class HwProbeTest : public ::testing::Test {
+ protected:
+  HwProbeTest() : apic_(&sim_, sim::Nanos(100)), probe_(&sim_, &apic_, {0, 1, 2, 3}) {
+    apic_.RegisterHandler(1, [this](IrqVector v, ApicId) {
+      if (v == IrqVector::kDpWorkload) {
+        ++irq_hits_;
+      }
+    });
+  }
+
+  sim::Simulation sim_;
+  Apic apic_;
+  HwWorkloadProbe probe_;
+  int irq_hits_ = 0;
+};
+
+TEST_F(HwProbeTest, PStateDoesNotRaiseIrq) {
+  probe_.OnPacketArrival(1);
+  sim_.Run();
+  EXPECT_EQ(irq_hits_, 0);
+  EXPECT_EQ(probe_.vstate_hits(), 0u);
+}
+
+TEST_F(HwProbeTest, VStateRaisesIrqOnce) {
+  probe_.SetState(1, CpuProbeState::kVState);
+  probe_.OnPacketArrival(1);
+  probe_.OnPacketArrival(1);  // Second packet in the same episode: no new IRQ.
+  sim_.Run();
+  EXPECT_EQ(irq_hits_, 1);
+  EXPECT_EQ(probe_.vstate_hits(), 2u);
+  EXPECT_EQ(probe_.irqs_raised(), 1u);
+}
+
+TEST_F(HwProbeTest, ReArmsAfterPStateRoundTrip) {
+  probe_.SetState(1, CpuProbeState::kVState);
+  probe_.OnPacketArrival(1);
+  probe_.SetState(1, CpuProbeState::kPState);  // Scheduler restored DP.
+  probe_.SetState(1, CpuProbeState::kVState);  // Later yield.
+  probe_.OnPacketArrival(1);
+  sim_.Run();
+  EXPECT_EQ(irq_hits_, 2);
+}
+
+TEST_F(HwProbeTest, DisabledProbeIsSilent) {
+  probe_.set_enabled(false);
+  probe_.SetState(1, CpuProbeState::kVState);
+  probe_.OnPacketArrival(1);
+  sim_.Run();
+  EXPECT_EQ(irq_hits_, 0);
+  EXPECT_EQ(probe_.vstate_hits(), 0u);
+}
+
+TEST_F(HwProbeTest, StatesAreIndependentPerCpu) {
+  probe_.SetState(2, CpuProbeState::kVState);
+  probe_.OnPacketArrival(1);  // CPU 1 still P-state.
+  sim_.Run();
+  EXPECT_EQ(irq_hits_, 0);
+  EXPECT_EQ(probe_.state(2), CpuProbeState::kVState);
+  EXPECT_EQ(probe_.state(1), CpuProbeState::kPState);
+}
+
+}  // namespace
+}  // namespace taichi::hw

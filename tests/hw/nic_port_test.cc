@@ -1,0 +1,66 @@
+#include "src/hw/nic_port.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace taichi::hw {
+namespace {
+
+TEST(NicPortTest, DeliversAfterSerializationAndWire) {
+  sim::Simulation s;
+  NicPortConfig cfg;
+  cfg.bandwidth_gbps = 100.0;  // 1500 B -> 120 ns.
+  cfg.wire_latency = sim::Micros(2);
+  NicPort nic(&s, cfg);
+  sim::SimTime arrived = 0;
+  nic.set_sink([&](const IoPacket&) { arrived = s.Now(); });
+  IoPacket p;
+  p.size_bytes = 1500;
+  nic.Transmit(p);
+  s.Run();
+  EXPECT_EQ(arrived, sim::Nanos(120) + sim::Micros(2));
+}
+
+TEST(NicPortTest, BackToBackPacketsQueueOnLink) {
+  sim::Simulation s;
+  NicPortConfig cfg;
+  cfg.bandwidth_gbps = 100.0;
+  cfg.wire_latency = 0;
+  NicPort nic(&s, cfg);
+  std::vector<sim::SimTime> arrivals;
+  nic.set_sink([&](const IoPacket&) { arrivals.push_back(s.Now()); });
+  IoPacket p;
+  p.size_bytes = 1500;
+  nic.Transmit(p);
+  nic.Transmit(p);
+  s.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], sim::Nanos(120));
+}
+
+TEST(NicPortTest, CountsBytesAndPackets) {
+  sim::Simulation s;
+  NicPort nic(&s, {});
+  IoPacket p;
+  p.size_bytes = 64;
+  nic.Transmit(p);
+  nic.Transmit(p);
+  s.Run();
+  EXPECT_EQ(nic.transmitted(), 2u);
+  EXPECT_EQ(nic.bytes_transmitted(), 128u);
+}
+
+TEST(NicPortTest, NoSinkIsSafe) {
+  sim::Simulation s;
+  NicPort nic(&s, {});
+  IoPacket p;
+  nic.Transmit(p);
+  s.Run();
+  EXPECT_EQ(nic.transmitted(), 1u);
+}
+
+}  // namespace
+}  // namespace taichi::hw

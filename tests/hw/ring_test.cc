@@ -1,0 +1,73 @@
+#include "src/hw/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace taichi::hw {
+namespace {
+
+IoPacket Pkt(uint64_t id) {
+  IoPacket p;
+  p.id = id;
+  return p;
+}
+
+TEST(DescriptorRingTest, FifoOrder) {
+  DescriptorRing ring;
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.Push(Pkt(i)));
+  }
+  std::vector<IoPacket> out;
+  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].id, i);
+  }
+}
+
+TEST(DescriptorRingTest, BurstBounded) {
+  DescriptorRing ring;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ring.Push(Pkt(i));
+  }
+  std::vector<IoPacket> out;
+  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 32u);
+  EXPECT_EQ(ring.size(), 68u);
+}
+
+TEST(DescriptorRingTest, DropsWhenFull) {
+  DescriptorRing ring(2);
+  EXPECT_TRUE(ring.Push(Pkt(1)));
+  EXPECT_TRUE(ring.Push(Pkt(2)));
+  EXPECT_FALSE(ring.Push(Pkt(3)));
+  EXPECT_EQ(ring.drops(), 1u);
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(DescriptorRingTest, WatcherFiresOnEveryPush) {
+  DescriptorRing ring;
+  int notified = 0;
+  ring.set_watcher([&] { ++notified; });
+  ring.Push(Pkt(1));
+  ring.Push(Pkt(2));
+  EXPECT_EQ(notified, 2);
+}
+
+TEST(DescriptorRingTest, WatcherNotFiredOnDrop) {
+  DescriptorRing ring(1);
+  int notified = 0;
+  ring.set_watcher([&] { ++notified; });
+  ring.Push(Pkt(1));
+  ring.Push(Pkt(2));  // Dropped.
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(DescriptorRingTest, EmptyBurstReturnsZero) {
+  DescriptorRing ring;
+  std::vector<IoPacket> out;
+  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace taichi::hw

@@ -1,0 +1,111 @@
+// Mode-parameterized properties: every scheduling mode must complete
+// canonical workloads, conserve CPU time, and be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+
+namespace taichi::exp {
+namespace {
+
+class ModeTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  std::unique_ptr<Testbed> Bed(uint64_t seed = 17) {
+    TestbedConfig cfg;
+    cfg.mode = GetParam();
+    cfg.seed = seed;
+    return std::make_unique<Testbed>(cfg);
+  }
+};
+
+TEST_P(ModeTest, PingCompletesWithSaneRtt) {
+  auto bed = Bed();
+  bed->SpawnBackgroundCp();
+  bed->sim().RunFor(sim::Millis(2));
+  PingRunner ping(bed.get());
+  sim::Summary rtt = ping.Run(100, sim::Millis(1));
+  ASSERT_EQ(rtt.count(), 100u);
+  EXPECT_GT(rtt.min(), 15.0);
+  EXPECT_LT(rtt.mean(), 20000.0);  // Even naive co-scheduling stays finite.
+}
+
+TEST_P(ModeTest, RrProducesTransactions) {
+  auto bed = Bed();
+  RrConfig rcfg;
+  rcfg.connections = 16;
+  RrRunner rr(bed.get(), rcfg);
+  RrResult r = rr.Run(sim::Millis(40), sim::Millis(10));
+  EXPECT_GT(r.txn_per_sec, 1000.0);
+  EXPECT_GT(r.txn_latency_us.count(), 0u);
+}
+
+TEST_P(ModeTest, FioProducesIops) {
+  auto bed = Bed();
+  FioRunner fio(bed.get(), FioConfig{});
+  FioResult r = fio.Run(sim::Millis(40), sim::Millis(10));
+  EXPECT_GT(r.iops, 10000.0);
+}
+
+TEST_P(ModeTest, CpuAccountingConserved) {
+  auto bed = Bed();
+  bed->SpawnBackgroundCp();
+  bed->StartBackgroundBurstyLoad(0.2, 512);
+  // Baseline snapshot: accounting accumulates since CPU online, which
+  // predates this window (e.g. vCPU bring-up in the constructor).
+  std::vector<os::CpuAccounting> before;
+  for (os::CpuId c = 0; c < bed->kernel().num_cpus(); ++c) {
+    before.push_back(bed->kernel().GetAccounting(c));
+  }
+  sim::SimTime t0 = bed->sim().Now();
+  bed->sim().RunFor(sim::Millis(200));
+  sim::Duration elapsed = bed->sim().Now() - t0;
+  for (os::CpuId c = 0; c < bed->kernel().num_cpus(); ++c) {
+    if (bed->kernel().cpu_kind(c) != os::CpuKind::kPhysical) {
+      continue;  // vCPU accounting only covers backed intervals.
+    }
+    os::CpuAccounting acct = bed->kernel().GetAccounting(c);
+    sim::Duration total = acct.busy + acct.idle + acct.guest_lent -
+                          (before[c].busy + before[c].idle + before[c].guest_lent);
+    EXPECT_EQ(total, elapsed) << "cpu " << c;
+  }
+}
+
+TEST_P(ModeTest, SameSeedIsDeterministic) {
+  auto run = [this] {
+    auto bed = Bed(99);
+    bed->SpawnBackgroundCp();
+    RrConfig rcfg;
+    rcfg.connections = 8;
+    RrRunner rr(bed.get(), rcfg);
+    RrResult r = rr.Run(sim::Millis(30), sim::Millis(5));
+    return std::make_tuple(r.txn_per_sec, bed->sim().events_executed(),
+                           bed->kernel().context_switches());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(ModeTest, SynthCpAlwaysCompletes) {
+  auto bed = Bed();
+  SynthCpResult r = RunSynthCp(bed.get(), 8, 0.2);
+  EXPECT_EQ(r.exec_time_ms.count(), 8u);
+  EXPECT_GT(r.exec_time_ms.min(), 49.0);  // Demand floor: 50 ms each.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModeTest,
+    ::testing::Values(Mode::kBaseline, Mode::kNaiveCosched, Mode::kTaiChi,
+                      Mode::kTaiChiNoHwProbe, Mode::kTaiChiVdp, Mode::kType2),
+    [](const ::testing::TestParamInfo<Mode>& param_info) {
+      std::string name = ToString(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace taichi::exp

@@ -1,0 +1,135 @@
+// End-to-end integration: the full SmartNIC stack per scheduling mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/exp/runners.h"
+#include "src/exp/testbed.h"
+
+namespace taichi::exp {
+namespace {
+
+TestbedConfig BaseConfig(Mode mode, uint64_t seed = 42) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(TestbedTest, TopologyMatchesTable4) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  EXPECT_EQ(bed.kernel().num_cpus(), 12);
+  EXPECT_EQ(bed.active_dp_cpus().size(), 8u);
+  EXPECT_EQ(bed.cp_pcpu_set().count(), 4);
+  EXPECT_EQ(bed.cp_task_cpus().count(), 4);  // Static partition.
+}
+
+TEST(TestbedTest, TaiChiAddsVcpusToControlPlane) {
+  Testbed bed(BaseConfig(Mode::kTaiChi));
+  ASSERT_NE(bed.taichi(), nullptr);
+  // 8 vCPUs + 4 CP pCPUs.
+  EXPECT_EQ(bed.cp_task_cpus().count(), 12);
+  // All vCPUs online after bring-up.
+  for (const auto& v : bed.taichi()->pool().vcpus()) {
+    EXPECT_TRUE(bed.kernel().cpu_online(v.cpu));
+  }
+}
+
+TEST(TestbedTest, Type2StealsDataPlaneCpus) {
+  Testbed bed(BaseConfig(Mode::kType2));
+  EXPECT_EQ(bed.active_dp_cpus().size(), 6u);  // 8 - 2 emulation CPUs.
+}
+
+TEST(TestbedTest, BaselinePingRttLandsNearTable5) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  PingRunner ping(&bed);
+  sim::Summary rtt = ping.Run(200, sim::Millis(1));
+  ASSERT_EQ(rtt.count(), 200u);
+  // Table 5 baseline: min 26, avg 30, max 38 us. Allow generous bands.
+  EXPECT_GT(rtt.min(), 20.0);
+  EXPECT_LT(rtt.min(), 32.0);
+  EXPECT_GT(rtt.mean(), 24.0);
+  EXPECT_LT(rtt.mean(), 40.0);
+  EXPECT_LT(rtt.max(), 50.0);
+}
+
+TEST(TestbedTest, TaiChiStealsIdleCyclesForSynthCp) {
+  // With 30% DP utilization, Tai Chi must finish 16 concurrent 50 ms tasks
+  // substantially faster than the 4-CPU static baseline.
+  auto run = [](Mode mode) {
+    Testbed bed(BaseConfig(mode));
+    return RunSynthCp(&bed, /*concurrency=*/16, /*dp_utilization=*/0.3);
+  };
+  SynthCpResult base = run(Mode::kBaseline);
+  SynthCpResult taichi = run(Mode::kTaiChi);
+  ASSERT_EQ(base.exec_time_ms.count(), 16u);
+  ASSERT_EQ(taichi.exec_time_ms.count(), 16u);
+  EXPECT_LT(taichi.exec_time_ms.mean(), base.exec_time_ms.mean() * 0.7);
+}
+
+TEST(TestbedTest, TaiChiKeepsPingRttNearBaseline) {
+  // Sustained CP pressure so vCPUs regularly occupy the DP CPUs (the
+  // regime where the HW probe matters, §6.4).
+  auto run = [](Mode mode) {
+    TestbedConfig cfg = BaseConfig(mode);
+    cfg.monitors.count = 12;
+    cfg.monitors.period_mean = sim::Micros(300);
+    cfg.monitors.user_work_mean = sim::Micros(60);
+    Testbed bed(cfg);
+    bed.SpawnBackgroundCp();
+    bed.sim().RunFor(sim::Millis(5));
+    PingRunner ping(&bed);
+    return ping.Run(300, sim::Millis(1));
+  };
+  sim::Summary base = run(Mode::kBaseline);
+  sim::Summary taichi = run(Mode::kTaiChi);
+  sim::Summary no_probe = run(Mode::kTaiChiNoHwProbe);
+  // With the HW probe, Tai Chi stays within a few percent of baseline.
+  EXPECT_LT(taichi.mean(), base.mean() * 1.10);
+  EXPECT_LT(taichi.max(), base.max() * 1.3);
+  // Without it, vCPU residency inflates the tail dramatically (Table 5).
+  EXPECT_GT(no_probe.max(), taichi.max() * 1.5);
+  EXPECT_GT(no_probe.mean(), taichi.mean() + 1.0);
+}
+
+TEST(TestbedTest, FioClosedLoopProducesIops) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  FioRunner fio(&bed, FioConfig{});
+  FioResult result = fio.Run(sim::Millis(100), sim::Millis(20));
+  EXPECT_GT(result.iops, 50000.0);
+  EXPECT_GT(result.io_latency_us.mean(), 70.0);  // At least the backend.
+}
+
+TEST(TestbedTest, StreamSaturatesDataPlane) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  StreamConfig scfg;
+  scfg.per_cpu_offered_pps = 2.0e6;  // Well above per-CPU capacity.
+  StreamRunner stream(&bed, scfg);
+  StreamResult result = stream.Run(sim::Millis(50), sim::Millis(20));
+  // Per-CPU capacity is roughly 1 / (0.9us + 1400B * 0.05ns) ~= 1.03 Mpps.
+  double per_cpu = result.delivered_pps / 8.0;
+  EXPECT_GT(per_cpu, 0.7e6);
+  EXPECT_LT(per_cpu, 1.3e6);
+}
+
+TEST(TestbedTest, RrClosedLoopCountsTransactions) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  RrConfig rcfg;
+  rcfg.connections = 32;
+  RrRunner rr(&bed, rcfg);
+  RrResult result = rr.Run(sim::Millis(100), sim::Millis(20));
+  EXPECT_GT(result.txn_per_sec, 100000.0);
+  EXPECT_NEAR(result.rx_pps, result.tx_pps, result.rx_pps * 0.05);
+}
+
+TEST(TestbedTest, VmStartupStormCompletes) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  VmStartupResult result = RunVmStartupStorm(&bed, /*num_vms=*/20,
+                                             /*arrival_rate_per_sec=*/200,
+                                             /*dp_utilization=*/0.2);
+  ASSERT_EQ(result.startup_ms.count(), 20u);
+  EXPECT_GT(result.startup_ms.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace taichi::exp

@@ -1,0 +1,87 @@
+#include "src/os/cgroup.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::os {
+namespace {
+
+class CgroupTest : public ::testing::Test {
+ protected:
+  CgroupTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 4;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<Kernel>(&sim_, machine_.get(), KernelConfig{});
+  }
+
+  std::unique_ptr<Behavior> Spinner() {
+    return std::make_unique<LoopBehavior>(std::vector<Action>{
+        Action::Compute(sim::Micros(100)), Action::Yield()});
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(CgroupTest, SpawnInheritsGroupCpus) {
+  CpuGroup group(kernel_.get(), "cp", CpuSet::Of({2, 3}));
+  Task* t = group.Spawn("member", Spinner());
+  EXPECT_EQ(t->affinity(), CpuSet::Of({2, 3}));
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_TRUE(t->cpu() == 2 || t->cpu() == 3);
+}
+
+TEST_F(CgroupTest, AttachRebindsExistingTask) {
+  Task* t = kernel_->Spawn("free", Spinner(), CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(2));
+  EXPECT_EQ(t->cpu(), 0);
+  CpuGroup group(kernel_.get(), "cp", CpuSet::Of({3}));
+  group.Attach(t);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->cpu(), 3);
+  EXPECT_EQ(group.size(), 1u);
+}
+
+TEST_F(CgroupTest, DetachRestoresOriginalAffinity) {
+  Task* t = kernel_->Spawn("free", Spinner(), CpuSet::Of({0, 1}));
+  CpuGroup group(kernel_.get(), "cp", CpuSet::Of({3}));
+  group.Attach(t);
+  sim_.RunFor(sim::Millis(2));
+  group.Detach(t);
+  EXPECT_EQ(t->affinity(), CpuSet::Of({0, 1}));
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_TRUE(t->cpu() == 0 || t->cpu() == 1);
+  EXPECT_EQ(group.size(), 0u);
+}
+
+TEST_F(CgroupTest, SetCpusMigratesAllMembersLive) {
+  CpuGroup group(kernel_.get(), "cp", CpuSet::Of({0, 1}));
+  std::vector<Task*> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(group.Spawn("m" + std::to_string(i), Spinner()));
+  }
+  sim_.RunFor(sim::Millis(5));
+  group.SetCpus(CpuSet::Of({2, 3}));
+  sim_.RunFor(sim::Millis(10));
+  for (Task* t : members) {
+    EXPECT_TRUE(t->cpu() == 2 || t->cpu() == 3) << t->name() << " on " << t->cpu();
+  }
+  // The old CPUs drain to idle.
+  EXPECT_EQ(kernel_->runnable_count(0), 0u);
+  EXPECT_EQ(kernel_->current_task(0), nullptr);
+}
+
+TEST_F(CgroupTest, DetachUnknownTaskIsNoop) {
+  CpuGroup group(kernel_.get(), "cp", CpuSet::Of({0}));
+  Task* t = kernel_->Spawn("outsider", Spinner(), CpuSet::Of({1}));
+  group.Detach(t);  // Must not crash or change affinity.
+  EXPECT_EQ(t->affinity(), CpuSet::Of({1}));
+}
+
+}  // namespace
+}  // namespace taichi::os

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "src/os/types.h"
+
+namespace taichi::os {
+namespace {
+
+TEST(CpuSetTest, AllCoversRange) {
+  CpuSet s = CpuSet::All(12);
+  EXPECT_EQ(s.count(), 12);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(11));
+  EXPECT_FALSE(s.Test(12));
+}
+
+TEST(CpuSetTest, RangeIsHalfOpen) {
+  CpuSet s = CpuSet::Range(4, 8);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_FALSE(s.Test(3));
+  EXPECT_TRUE(s.Test(4));
+  EXPECT_TRUE(s.Test(7));
+  EXPECT_FALSE(s.Test(8));
+}
+
+TEST(CpuSetTest, OfAndSetClear) {
+  CpuSet s = CpuSet::Of({1, 5, 9});
+  EXPECT_EQ(s.count(), 3);
+  s.Clear(5);
+  EXPECT_FALSE(s.Test(5));
+  s.Set(5);
+  EXPECT_TRUE(s.Test(5));
+}
+
+TEST(CpuSetTest, UnionIntersection) {
+  CpuSet a = CpuSet::Range(0, 4);
+  CpuSet b = CpuSet::Range(2, 6);
+  EXPECT_EQ((a | b).count(), 6);
+  EXPECT_EQ((a & b).count(), 2);
+}
+
+TEST(CpuSetTest, EmptyAndToString) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_EQ(CpuSet::Of({2, 3}).ToString(), "{2,3}");
+}
+
+TEST(CpuSetTest, All64) {
+  CpuSet s = CpuSet::All(64);
+  EXPECT_EQ(s.count(), 64);
+}
+
+}  // namespace
+}  // namespace taichi::os

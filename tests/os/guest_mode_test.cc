@@ -1,0 +1,228 @@
+// Tests the hybrid-virtualization mechanics: lending a physical CPU to a
+// virtual CPU, freezing/resuming host work, and the exit paths Tai Chi's
+// vCPU scheduler builds on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/os/behaviors.h"
+#include "src/os/kernel.h"
+
+namespace taichi::os {
+namespace {
+
+class GuestModeTest : public ::testing::Test {
+ protected:
+  GuestModeTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 2;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<Kernel>(&sim_, machine_.get(), KernelConfig{});
+    vcpu_ = kernel_->RegisterCpu(CpuKind::kVirtual, 100);
+    kernel_->OnlineCpu(vcpu_);
+    sim_.RunFor(sim::Millis(1));
+    EXPECT_TRUE(kernel_->cpu_online(vcpu_));
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+  CpuId vcpu_ = kInvalidCpu;
+};
+
+TEST_F(GuestModeTest, VcpuTaskRunsOnlyWhileBacked) {
+  Task* t = kernel_->Spawn("cp",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(1))}),
+                           CpuSet::Of({vcpu_}));
+  sim_.RunFor(sim::Millis(10));
+  // Unbacked vCPU: zero progress.
+  EXPECT_NE(t->state(), TaskState::kExited);
+  EXPECT_EQ(t->cpu_time(), 0u);
+
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+}
+
+TEST_F(GuestModeTest, HostTaskFrozenDuringGuestAndResumes) {
+  Task* host = kernel_->Spawn("host",
+                              std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                  Action::Compute(sim::Millis(4))}),
+                              CpuSet::Of({0}));
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({vcpu_}));
+  sim_.RunFor(sim::Millis(1));
+  sim::Duration host_time_before = kernel_->TaskCpuTime(*host);
+
+  // Lend CPU 0 to the vCPU for 2 ms.
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(2));
+  kernel_->ExitGuest(0, GuestExitReason::kForced);
+  sim_.RunFor(sim::Micros(10));
+
+  // Host made no progress while lent.
+  EXPECT_LE(kernel_->TaskCpuTime(*host) - host_time_before, sim::Micros(100));
+  sim_.RunFor(sim::Millis(10));
+  EXPECT_EQ(host->state(), TaskState::kExited);
+  // Total compute is still 4 ms of CPU time (plus switch overhead).
+  EXPECT_GE(host->cpu_time(), sim::Millis(4));
+}
+
+TEST_F(GuestModeTest, GuestExitHandlerReceivesReason) {
+  std::vector<GuestExitReason> reasons;
+  kernel_->set_guest_exit_handler(
+      [&](CpuId pcpu, CpuId vcpu, const GuestExitInfo& info) {
+        reasons.push_back(info.reason);
+        EXPECT_EQ(vcpu, vcpu_);
+        kernel_->ResumeHost(pcpu);
+      });
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(1));
+  kernel_->ExitGuest(0, GuestExitReason::kPreemptionTimer);
+  sim_.RunFor(sim::Millis(1));
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], GuestExitReason::kPreemptionTimer);
+}
+
+TEST_F(GuestModeTest, ExternalInterruptForcesExit) {
+  GuestExitInfo seen{};
+  bool exited = false;
+  kernel_->set_guest_exit_handler(
+      [&](CpuId pcpu, CpuId, const GuestExitInfo& info) {
+        seen = info;
+        exited = true;
+        kernel_->ResumeHost(pcpu);
+      });
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(10))}),
+                 CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(1));
+  // A hardware IRQ (e.g. the workload probe) hits physical CPU 0.
+  machine_->apic().Send(hw::kInvalidApicId, 0, hw::IrqVector::kDpWorkload);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_TRUE(exited);
+  EXPECT_EQ(seen.reason, GuestExitReason::kExternalInterrupt);
+  EXPECT_EQ(seen.vector, hw::IrqVector::kDpWorkload);
+}
+
+TEST_F(GuestModeTest, ExitPreemptsVcpuMidKernelSection) {
+  // The decisive property (§3.4): VM-exits split even non-preemptible
+  // routines at microsecond granularity.
+  Task* cp = kernel_->Spawn("cp",
+                            std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                Action::KernelSection(sim::Millis(10)),
+                                Action::Compute(sim::Micros(1))}),
+                            CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(2));
+  EXPECT_TRUE(cp->non_preemptible());
+  kernel_->ExitGuest(0, GuestExitReason::kExternalInterrupt);
+  sim_.RunFor(sim::Micros(100));
+  EXPECT_FALSE(kernel_->cpu_backed(vcpu_));
+  // Task is frozen mid-section, still non-preemptible, with partial progress.
+  EXPECT_TRUE(cp->non_preemptible());
+  EXPECT_GT(cp->cpu_time(), sim::Millis(1));
+  EXPECT_LT(cp->cpu_time(), sim::Millis(3));
+
+  // Re-enter on the other physical CPU: the section finishes there.
+  kernel_->EnterGuest(1, vcpu_);
+  sim_.RunFor(sim::Millis(20));
+  EXPECT_EQ(cp->state(), TaskState::kExited);
+}
+
+TEST_F(GuestModeTest, HaltHandlerFiresWhenVcpuIdles) {
+  CpuId halted = kInvalidCpu;
+  kernel_->set_guest_halt_handler([&](CpuId v) {
+    halted = v;
+    CpuId backer = kernel_->backer_of(v);
+    if (backer != kInvalidCpu) {
+      kernel_->ExitGuest(backer, GuestExitReason::kHalt);
+    }
+  });
+  kernel_->Spawn("short",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Micros(100))}),
+                 CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(halted, vcpu_);
+  EXPECT_FALSE(kernel_->cpu_backed(vcpu_));
+  EXPECT_EQ(kernel_->guest_of(0), kInvalidCpu);
+}
+
+TEST_F(GuestModeTest, GuestTimeAccountedAsLent) {
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(5));
+  kernel_->ExitGuest(0, GuestExitReason::kForced);
+  sim_.RunFor(sim::Millis(1));
+  CpuAccounting pacct = kernel_->GetAccounting(0);
+  EXPECT_GT(pacct.guest_lent, sim::Millis(4));
+  CpuAccounting vacct = kernel_->GetAccounting(vcpu_);
+  EXPECT_GT(vacct.busy, sim::Millis(4));
+}
+
+TEST_F(GuestModeTest, EntryAndExitCostsAreCharged) {
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({vcpu_}));
+  sim::SimTime start = sim_.Now();
+  bool resumed = false;
+  kernel_->set_guest_exit_handler([&](CpuId pcpu, CpuId, const GuestExitInfo&) {
+    kernel_->ResumeHost(pcpu);
+    resumed = true;
+  });
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Micros(1));
+  // Entry cost not yet elapsed: vCPU not backed yet.
+  EXPECT_FALSE(kernel_->cpu_backed(vcpu_));
+  sim_.RunFor(sim::Micros(10));
+  EXPECT_TRUE(kernel_->cpu_backed(vcpu_));
+  kernel_->ExitGuest(0, GuestExitReason::kForced);
+  EXPECT_FALSE(resumed);  // Exit cost pending.
+  sim_.RunFor(sim::Micros(10));
+  EXPECT_TRUE(resumed);
+  EXPECT_GT(sim_.Now(), start);
+}
+
+TEST_F(GuestModeTest, WakeIpiToLentPcpuForcesGuestExit) {
+  // A task waking onto a lent pCPU sends a resched IPI, which VM-exits the
+  // guest; the default exit handler resumes the host, which runs the task.
+  // This is exactly how hardware behaves and why Tai Chi installs its own
+  // exit handler to re-enter vCPUs when appropriate.
+  kernel_->Spawn("cp",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({vcpu_}));
+  kernel_->EnterGuest(0, vcpu_);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(kernel_->guest_of(0), vcpu_);
+  sim::SimTime spawn_time = sim_.Now();
+  Task* host = kernel_->Spawn("host",
+                              std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                  Action::Compute(sim::Micros(10))}),
+                              CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(kernel_->guest_of(0), kInvalidCpu);
+  EXPECT_EQ(host->state(), TaskState::kExited);
+  // The exit happened within microseconds of the wake, not after the vCPU's
+  // 1 ms compute chunks.
+  EXPECT_LT(host->exited_at(), spawn_time + sim::Micros(100));
+}
+
+}  // namespace
+}  // namespace taichi::os

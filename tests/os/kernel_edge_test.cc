@@ -1,0 +1,146 @@
+// Edge cases of the kernel's scheduling and IPI paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/os/behaviors.h"
+#include "src/os/kernel.h"
+
+namespace taichi::os {
+namespace {
+
+class KernelEdgeTest : public ::testing::Test {
+ protected:
+  KernelEdgeTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 4;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<Kernel>(&sim_, machine_.get(), KernelConfig{});
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(KernelEdgeTest, ThreePriorityLevelsStrictlyOrdered) {
+  // Fill CPU 0 with a low task, then add normal and high; completion order
+  // must be high, normal, low.
+  std::vector<std::string> order;
+  kernel_->set_task_exit_handler([&](Task& t) { order.push_back(t.name()); });
+  auto mk = [&](const char* name, Priority p) {
+    kernel_->Spawn(name,
+                   std::make_unique<ScriptBehavior>(std::vector<Action>{
+                       Action::Compute(sim::Millis(2))}),
+                   CpuSet::Of({0}), p);
+  };
+  mk("low", Priority::kLow);
+  sim_.RunFor(sim::Micros(10));
+  mk("normal", Priority::kNormal);
+  mk("high", Priority::kHigh);
+  sim_.RunFor(sim::Millis(20));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "normal");
+  EXPECT_EQ(order[2], "low");
+}
+
+TEST_F(KernelEdgeTest, DoubleWakeIsNoop) {
+  Task* t = kernel_->Spawn("blocker",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Block(), Action::Compute(sim::Micros(10))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  kernel_->Wake(t);
+  kernel_->Wake(t);  // Second wake must not double-enqueue.
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_EQ(kernel_->runnable_count(0), 0u);
+}
+
+TEST_F(KernelEdgeTest, KickOnRunningComputeTaskIsHarmless) {
+  Task* t = kernel_->Spawn("worker",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(2))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(100));
+  kernel_->KickTask(t);  // Not polling, not blocked: no-op.
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_GE(t->cpu_time(), sim::Millis(2));
+}
+
+TEST_F(KernelEdgeTest, ZeroDurationComputeCompletes) {
+  Task* t = kernel_->Spawn("zero",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(0), Action::Compute(sim::Micros(1))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+}
+
+TEST_F(KernelEdgeTest, StealRespectsAffinity) {
+  // Queue two tasks behind a hog on CPU 0; only the one allowing CPU 1 may
+  // be stolen there.
+  kernel_->Spawn("hog",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(5))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(10));
+  Task* pinned = kernel_->Spawn("pinned",
+                                std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                    Action::Compute(sim::Micros(100))}),
+                                CpuSet::Of({0}));
+  Task* movable = kernel_->Spawn("movable",
+                                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                     Action::Compute(sim::Micros(100))}),
+                                 CpuSet::Of({0, 1}));
+  sim_.RunFor(sim::Millis(2));
+  EXPECT_EQ(movable->state(), TaskState::kExited);
+  EXPECT_NE(movable->cpu(), 0);
+  EXPECT_EQ(pinned->state(), TaskState::kRunnable);  // Still stuck behind the hog.
+}
+
+TEST_F(KernelEdgeTest, DefaultRouterDeliversToVirtualDest) {
+  // Without an orchestrator, the default route still functions for tests.
+  CpuId v = kernel_->RegisterCpu(CpuKind::kVirtual, 300);
+  kernel_->OnlineCpu(v);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_TRUE(kernel_->cpu_online(v));
+  kernel_->SendIpi(0, v, IpiType::kResched);  // Pends on the unbacked vCPU.
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_TRUE(kernel_->CpuHasWork(v) || kernel_->runnable_count(v) == 0);
+}
+
+TEST_F(KernelEdgeTest, TickRoundRobinsEqualPriority) {
+  Task* a = kernel_->Spawn("a",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(9))}),
+                           CpuSet::Of({2}));
+  Task* b = kernel_->Spawn("b",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(9))}),
+                           CpuSet::Of({2}));
+  // After 10 ms both have run (RR slices), neither is done.
+  sim_.RunFor(sim::Millis(10));
+  EXPECT_GT(kernel_->TaskCpuTime(*a), sim::Millis(2));
+  EXPECT_GT(kernel_->TaskCpuTime(*b), sim::Millis(2));
+  EXPECT_NE(a->state(), TaskState::kExited);
+  EXPECT_NE(b->state(), TaskState::kExited);
+}
+
+TEST_F(KernelEdgeTest, IdleHandlerFiresOnIdlePhysicalCpu) {
+  std::vector<CpuId> idled;
+  kernel_->set_idle_handler([&](CpuId c) { idled.push_back(c); });
+  Task* t = kernel_->Spawn("short",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Micros(100))}),
+                           CpuSet::Of({3}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  ASSERT_FALSE(idled.empty());
+  EXPECT_EQ(idled.front(), 3);
+}
+
+}  // namespace
+}  // namespace taichi::os

@@ -1,0 +1,319 @@
+#include "src/os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::os {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 4;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<Kernel>(&sim_, machine_.get(), KernelConfig{});
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(KernelTest, PhysicalCpusBootOnline) {
+  EXPECT_EQ(kernel_->num_cpus(), 4);
+  for (CpuId c = 0; c < 4; ++c) {
+    EXPECT_TRUE(kernel_->cpu_online(c));
+    EXPECT_TRUE(kernel_->cpu_backed(c));
+    EXPECT_EQ(kernel_->cpu_kind(c), CpuKind::kPhysical);
+  }
+}
+
+TEST_F(KernelTest, SingleTaskRunsToCompletion) {
+  Task* t = kernel_->Spawn(
+      "worker", std::make_unique<ScriptBehavior>(std::vector<Action>{
+                    Action::Compute(sim::Millis(5))}),
+      CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(10));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_GE(t->cpu_time(), sim::Millis(5));
+  EXPECT_GE(t->exited_at(), sim::Millis(5));
+}
+
+TEST_F(KernelTest, TaskExitHandlerFires) {
+  int exits = 0;
+  kernel_->set_task_exit_handler([&](Task&) { ++exits; });
+  kernel_->Spawn("a",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Micros(10))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(exits, 1);
+}
+
+TEST_F(KernelTest, TwoTasksTimeShareOneCpu) {
+  // Both should make progress despite sharing CPU 0 (round-robin slices).
+  Task* a = kernel_->Spawn("a",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(10))}),
+                           CpuSet::Of({0}));
+  Task* b = kernel_->Spawn("b",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(10))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(15));
+  // Neither finished at the halfway-ish mark alone; both ran.
+  EXPECT_GT(a->cpu_time(), sim::Millis(3));
+  EXPECT_GT(b->cpu_time(), sim::Millis(3));
+  sim_.RunFor(sim::Millis(15));
+  EXPECT_EQ(a->state(), TaskState::kExited);
+  EXPECT_EQ(b->state(), TaskState::kExited);
+}
+
+TEST_F(KernelTest, TasksSpreadAcrossIdleCpus) {
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(kernel_->Spawn(
+        "t" + std::to_string(i),
+        std::make_unique<ScriptBehavior>(std::vector<Action>{
+            Action::Compute(sim::Millis(2))}),
+        CpuSet::All(4)));
+  }
+  sim_.RunFor(sim::Millis(3));
+  // With 4 idle CPUs and 4 tasks, all finish in one round: no time sharing.
+  for (Task* t : tasks) {
+    EXPECT_EQ(t->state(), TaskState::kExited);
+  }
+}
+
+TEST_F(KernelTest, HigherPriorityWakePreemptsMidCompute) {
+  Task* low = kernel_->Spawn("low",
+                             std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                 Action::Compute(sim::Millis(50))}),
+                             CpuSet::Of({0}), Priority::kNormal);
+  sim_.RunFor(sim::Micros(100));
+  EXPECT_EQ(low->state(), TaskState::kRunning);
+  Task* high = kernel_->Spawn("high",
+                              std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                  Action::Compute(sim::Micros(50))}),
+                              CpuSet::Of({0}), Priority::kHigh);
+  // The high task should finish long before the low task's 50 ms compute.
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(high->state(), TaskState::kExited);
+  EXPECT_EQ(low->state(), TaskState::kRunning);
+  // Preemption latency is microseconds, not milliseconds.
+  EXPECT_LT(high->exited_at(), sim::Millis(1));
+}
+
+TEST_F(KernelTest, KernelSectionDefersPreemption) {
+  // A task inside a 5 ms non-preemptible routine delays even a high-priority
+  // wake until the routine ends — the Fig. 4 latency spike.
+  kernel_->Spawn("cp",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::KernelSection(sim::Millis(5)),
+                     Action::Compute(sim::Millis(50))}),
+                 CpuSet::Of({0}), Priority::kNormal);
+  sim_.RunFor(sim::Micros(100));
+  Task* high = kernel_->Spawn("dp",
+                              std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                  Action::Compute(sim::Micros(10))}),
+                              CpuSet::Of({0}), Priority::kHigh);
+  sim_.RunFor(sim::Millis(20));
+  EXPECT_EQ(high->state(), TaskState::kExited);
+  // Could not start until the kernel section finished at ~5 ms.
+  EXPECT_GT(high->exited_at(), sim::Millis(4));
+  EXPECT_LT(high->exited_at(), sim::Millis(7));
+}
+
+TEST_F(KernelTest, NonPreemptTracerObservesEpisodes) {
+  std::vector<sim::Duration> episodes;
+  kernel_->set_nonpreempt_tracer(
+      [&](const Task&, sim::Duration d) { episodes.push_back(d); });
+  kernel_->Spawn("cp",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::KernelSection(sim::Millis(3)),
+                     Action::Compute(sim::Micros(10)),
+                     Action::KernelSection(sim::Millis(1))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(10));
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_GE(episodes[0], sim::Millis(3));
+  EXPECT_GE(episodes[1], sim::Millis(1));
+  EXPECT_LT(episodes[1], sim::Millis(2));
+}
+
+TEST_F(KernelTest, SleepBlocksAndResumes) {
+  Task* t = kernel_->Spawn("sleeper",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Micros(10)),
+                               Action::Sleep(sim::Millis(5)),
+                               Action::Compute(sim::Micros(10))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kSleeping);
+  sim_.RunFor(sim::Millis(10));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_GE(t->exited_at(), sim::Millis(5));
+}
+
+TEST_F(KernelTest, BlockWaitsForKick) {
+  Task* t = kernel_->Spawn("blocker",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Block(),
+                               Action::Compute(sim::Micros(10))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(50));
+  EXPECT_EQ(t->state(), TaskState::kBlocked);
+  kernel_->KickTask(t);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+}
+
+TEST_F(KernelTest, BoundedBusyPollTimesOut) {
+  ActionResult seen{};
+  auto behavior = std::make_unique<LambdaBehavior>(
+      [&seen](Kernel&, Task&, const ActionResult& last) -> Action {
+        if (last.type == Action::Type::kNone) {
+          return Action::BusyPoll(sim::Micros(40));
+        }
+        seen = last;
+        return Action::Exit();
+      });
+  kernel_->Spawn("poller", std::move(behavior), CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_EQ(seen.type, Action::Type::kBusyPoll);
+  EXPECT_TRUE(seen.busy_poll_timeout);
+}
+
+TEST_F(KernelTest, KickEndsBusyPollEarly) {
+  ActionResult seen{};
+  Task* t = kernel_->Spawn(
+      "poller",
+      std::make_unique<LambdaBehavior>(
+          [&seen](Kernel&, Task&, const ActionResult& last) -> Action {
+            if (last.type == Action::Type::kNone) {
+              return Action::BusyPoll(sim::Millis(100));
+            }
+            seen = last;
+            return Action::Exit();
+          }),
+      CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(100));
+  kernel_->KickTask(t);
+  sim_.RunFor(sim::Micros(100));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_FALSE(seen.busy_poll_timeout);
+  EXPECT_LT(t->exited_at(), sim::Millis(1));
+}
+
+TEST_F(KernelTest, UnboundedBusyPollCountsAsBusy) {
+  kernel_->Spawn("poller",
+                 std::make_unique<LambdaBehavior>(
+                     [](Kernel&, Task&, const ActionResult&) -> Action {
+                       return Action::BusyPoll();  // Forever.
+                     }),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(10));
+  CpuAccounting acct = kernel_->GetAccounting(0);
+  EXPECT_GT(acct.busy, sim::Millis(9));
+}
+
+TEST_F(KernelTest, AffinityConfinesExecution) {
+  Task* t = kernel_->Spawn("pinned",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(1))}),
+                           CpuSet::Of({2}));
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_EQ(t->cpu(), 2);
+  EXPECT_GT(kernel_->GetAccounting(2).busy, 0u);
+  EXPECT_EQ(kernel_->GetAccounting(0).busy, 0u);
+}
+
+TEST_F(KernelTest, IdleCpuStealsQueuedWork) {
+  // Pin a hog to CPU 0, then queue two more tasks that allow CPU 0 and 1.
+  kernel_->Spawn("hog",
+                 std::make_unique<LoopBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(10));
+  // Saturate CPU 1 momentarily so initial placement prefers... instead simply
+  // enqueue both on CPU 0 by pinning placement through load: spawn both while
+  // CPU 1 busy.
+  Task* h1 = kernel_->Spawn("h1",
+                            std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                Action::Compute(sim::Millis(3))}),
+                            CpuSet::Of({1}));
+  Task* stealable = kernel_->Spawn(
+      "stealable",
+      std::make_unique<ScriptBehavior>(std::vector<Action>{
+          Action::Compute(sim::Millis(1))}),
+      CpuSet::Of({1, 2}));
+  sim_.RunFor(sim::Millis(2));
+  // CPU 2 was idle and should have stolen the stealable task instead of it
+  // waiting behind h1 on CPU 1. (Placement may have put it on 2 directly,
+  // which is equally fine — the point is it finishes quickly.)
+  EXPECT_EQ(stealable->state(), TaskState::kExited);
+  EXPECT_EQ(h1->state(), TaskState::kRunning);
+}
+
+TEST_F(KernelTest, HotplugVirtualCpuComesOnlineViaBootIpi) {
+  CpuId v = kernel_->RegisterCpu(CpuKind::kVirtual, 100);
+  EXPECT_FALSE(kernel_->cpu_online(v));
+  kernel_->OnlineCpu(v);
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_TRUE(kernel_->cpu_online(v));
+  EXPECT_FALSE(kernel_->cpu_backed(v));  // vCPUs stay unbacked until placed.
+}
+
+TEST_F(KernelTest, AccountingSumsToElapsed) {
+  kernel_->Spawn("t",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(2))}),
+                 CpuSet::Of({1}));
+  sim_.RunFor(sim::Millis(10));
+  CpuAccounting acct = kernel_->GetAccounting(1);
+  EXPECT_EQ(acct.busy + acct.idle + acct.guest_lent, sim::Millis(10));
+  EXPECT_GE(acct.busy, sim::Millis(2));
+}
+
+TEST_F(KernelTest, YieldRotatesEqualPriorityTasks) {
+  // Two loopers that yield after each unit of work should interleave tightly.
+  auto make = [&](const char* name) {
+    return kernel_->Spawn(name,
+                          std::make_unique<LoopBehavior>(
+                              std::vector<Action>{Action::Compute(sim::Micros(100)),
+                                                  Action::Yield()},
+                              /*iterations=*/50),
+                          CpuSet::Of({3}));
+  };
+  Task* a = make("a");
+  Task* b = make("b");
+  sim_.RunFor(sim::Millis(60));
+  EXPECT_EQ(a->state(), TaskState::kExited);
+  EXPECT_EQ(b->state(), TaskState::kExited);
+  // With strict alternation they finish within ~one iteration of each other.
+  sim::Duration gap = a->exited_at() < b->exited_at() ? b->exited_at() - a->exited_at()
+                                                      : a->exited_at() - b->exited_at();
+  EXPECT_LT(gap, sim::Millis(1));
+}
+
+TEST_F(KernelTest, ContextSwitchesAreCounted) {
+  kernel_->Spawn("a",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Micros(1))}),
+                 CpuSet::Of({0}));
+  kernel_->Spawn("b",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Micros(1))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  EXPECT_GE(kernel_->context_switches(), 2u);
+}
+
+}  // namespace
+}  // namespace taichi::os

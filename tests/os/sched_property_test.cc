@@ -1,0 +1,168 @@
+// Property-based scheduler tests: random workloads driven across random
+// seeds must preserve the kernel's core invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/os/behaviors.h"
+#include "src/os/kernel.h"
+#include "src/sim/random.h"
+
+namespace taichi::os {
+namespace {
+
+struct Env {
+  explicit Env(uint64_t seed, uint32_t cpus = 4) : sim(seed) {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = cpus;
+    machine = std::make_unique<hw::Machine>(&sim, mcfg);
+    kernel = std::make_unique<Kernel>(&sim, machine.get(), KernelConfig{});
+  }
+  sim::Simulation sim;
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<Kernel> kernel;
+};
+
+// Random mixes of compute/kernel-section/sleep/yield tasks.
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWorkloadTest, AccountingConservesTime) {
+  Env env(GetParam());
+  sim::Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Action> body;
+    int steps = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          body.push_back(Action::Compute(rng.UniformDuration(sim::Micros(10), sim::Millis(2))));
+          break;
+        case 1:
+          body.push_back(
+              Action::KernelSection(rng.UniformDuration(sim::Micros(5), sim::Millis(1))));
+          break;
+        case 2:
+          body.push_back(Action::Sleep(rng.UniformDuration(sim::Micros(50), sim::Millis(1))));
+          break;
+        default:
+          body.push_back(Action::Yield());
+          break;
+      }
+    }
+    CpuSet affinity;
+    affinity.Set(static_cast<CpuId>(rng.UniformInt(0, 3)));
+    affinity.Set(static_cast<CpuId>(rng.UniformInt(0, 3)));
+    env.kernel->Spawn("t" + std::to_string(i),
+                      std::make_unique<LoopBehavior>(body, 1 + rng.UniformInt(0, 20)),
+                      affinity,
+                      static_cast<Priority>(rng.UniformInt(0, 2)));
+  }
+  const sim::Duration kWindow = sim::Millis(250);
+  env.sim.RunFor(kWindow);
+  for (CpuId c = 0; c < env.kernel->num_cpus(); ++c) {
+    CpuAccounting acct = env.kernel->GetAccounting(c);
+    EXPECT_EQ(acct.busy + acct.idle + acct.guest_lent, kWindow)
+        << "CPU " << c << " lost time";
+  }
+}
+
+TEST_P(RandomWorkloadTest, FiniteTasksAllExitWithFullCpuTime) {
+  Env env(GetParam() ^ 0x9999);
+  sim::Rng rng(GetParam() * 17 + 3);
+  struct Expect {
+    Task* task;
+    sim::Duration min_cpu;
+  };
+  std::vector<Expect> expectations;
+  for (int i = 0; i < 10; ++i) {
+    sim::Duration demand = rng.UniformDuration(sim::Micros(100), sim::Millis(5));
+    int chunks = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    std::vector<Action> script;
+    for (int c = 0; c < chunks; ++c) {
+      script.push_back(Action::Compute(demand / chunks));
+    }
+    Task* t = env.kernel->Spawn("w" + std::to_string(i),
+                                std::make_unique<ScriptBehavior>(script), CpuSet::All(4));
+    expectations.push_back({t, demand / chunks * chunks});
+  }
+  env.sim.RunFor(sim::Seconds(2));
+  for (const Expect& e : expectations) {
+    EXPECT_EQ(e.task->state(), TaskState::kExited);
+    EXPECT_GE(e.task->cpu_time(), e.min_cpu);
+  }
+}
+
+TEST_P(RandomWorkloadTest, SpinlockMutualExclusionUnderContention) {
+  Env env(GetParam() ^ 0x5555);
+  KernelSpinlock lock("shared");
+  sim::Rng rng(GetParam() + 1);
+  int contenders = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  std::vector<Task*> tasks;
+  for (int i = 0; i < contenders; ++i) {
+    tasks.push_back(env.kernel->Spawn(
+        "locker" + std::to_string(i),
+        std::make_unique<LoopBehavior>(
+            std::vector<Action>{Action::Compute(rng.UniformDuration(sim::Micros(5),
+                                                                    sim::Micros(100))),
+                                Action::LockAcquire(&lock),
+                                Action::KernelSection(rng.UniformDuration(sim::Micros(10),
+                                                                          sim::Micros(300))),
+                                Action::LockRelease(&lock)},
+            /*iterations=*/20),
+        CpuSet::Of({static_cast<CpuId>(i % 4)})));
+  }
+  env.sim.RunFor(sim::Seconds(2));
+  for (Task* t : tasks) {
+    EXPECT_EQ(t->state(), TaskState::kExited);
+  }
+  EXPECT_FALSE(lock.held());
+  EXPECT_EQ(lock.acquisitions(), static_cast<uint64_t>(contenders) * 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Guest-mode stress: random lend/reclaim cycles must never lose work.
+class GuestStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuestStressTest, RandomLendReclaimPreservesWork) {
+  Env env(GetParam(), 2);
+  CpuId vcpu = env.kernel->RegisterCpu(CpuKind::kVirtual, 200);
+  env.kernel->OnlineCpu(vcpu);
+  env.sim.RunFor(sim::Millis(1));
+
+  // Total demand 10 ms split into mixed segments, some non-preemptible.
+  Task* t = env.kernel->Spawn(
+      "guest_work",
+      std::make_unique<LoopBehavior>(
+          std::vector<Action>{Action::Compute(sim::Micros(400)),
+                              Action::KernelSection(sim::Micros(600))},
+          /*iterations=*/10),
+      CpuSet::Of({vcpu}));
+
+  sim::Rng rng(GetParam() * 7 + 5);
+  // Random lend/reclaim cycles on pCPU 0 until the task completes.
+  for (int round = 0; round < 400 && t->state() != TaskState::kExited; ++round) {
+    if (env.kernel->guest_of(0) == kInvalidCpu && env.kernel->CpuInHostMode(0) &&
+        !env.kernel->cpu_backed(vcpu)) {
+      env.kernel->EnterGuest(0, vcpu);
+    }
+    env.sim.RunFor(rng.UniformDuration(sim::Micros(20), sim::Micros(500)));
+    if (env.kernel->guest_of(0) == vcpu) {
+      env.kernel->ExitGuest(0, GuestExitReason::kForced);
+    }
+    env.sim.RunFor(rng.UniformDuration(sim::Micros(5), sim::Micros(100)));
+  }
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  // Exactly 10 iterations of 1 ms each (plus dispatch overheads).
+  EXPECT_GE(t->cpu_time(), sim::Millis(10));
+  EXPECT_LT(t->cpu_time(), sim::Millis(11));
+  // Backing is consistent at the end.
+  EXPECT_EQ(env.kernel->guest_entries(), env.kernel->guest_exits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestStressTest, ::testing::Values(2, 4, 6, 10, 12, 19));
+
+}  // namespace
+}  // namespace taichi::os

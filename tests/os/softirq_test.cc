@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/os/behaviors.h"
+#include "src/os/kernel.h"
+
+namespace taichi::os {
+namespace {
+
+class SoftirqTest : public ::testing::Test {
+ protected:
+  SoftirqTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 2;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<Kernel>(&sim_, machine_.get(), KernelConfig{});
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(SoftirqTest, RunsOnIdleCpu) {
+  std::vector<CpuId> ran_on;
+  kernel_->RegisterSoftirq(0, [&](CpuId c) { ran_on.push_back(c); });
+  kernel_->RaiseSoftirq(1, 0);
+  sim_.RunFor(sim::Micros(10));
+  ASSERT_EQ(ran_on.size(), 1u);
+  EXPECT_EQ(ran_on[0], 1);
+  EXPECT_EQ(kernel_->softirqs_run(), 1u);
+}
+
+TEST_F(SoftirqTest, InterruptsPreemptibleCompute) {
+  sim::SimTime ran_at = 0;
+  kernel_->RegisterSoftirq(0, [&](CpuId) { ran_at = sim_.Now(); });
+  kernel_->Spawn("busy",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::Compute(sim::Millis(50))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Millis(1));
+  kernel_->RaiseSoftirq(0, 0);
+  sim_.RunFor(sim::Millis(1));
+  // Ran promptly, not after the 50 ms compute.
+  EXPECT_GT(ran_at, 0u);
+  EXPECT_LT(ran_at, sim::Millis(2));
+}
+
+TEST_F(SoftirqTest, DeferredAcrossKernelSection) {
+  sim::SimTime ran_at = 0;
+  kernel_->RegisterSoftirq(0, [&](CpuId) { ran_at = sim_.Now(); });
+  kernel_->Spawn("kern",
+                 std::make_unique<ScriptBehavior>(std::vector<Action>{
+                     Action::KernelSection(sim::Millis(5)),
+                     Action::Compute(sim::Millis(1))}),
+                 CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(100));
+  kernel_->RaiseSoftirq(0, 0);
+  sim_.RunFor(sim::Millis(10));
+  // Could not run inside the non-preemptible routine.
+  EXPECT_GE(ran_at, sim::Millis(5));
+}
+
+TEST_F(SoftirqTest, MultipleSoftirqsDrainInNumberOrder) {
+  std::vector<int> order;
+  kernel_->RegisterSoftirq(0, [&](CpuId) { order.push_back(0); });
+  kernel_->RegisterSoftirq(3, [&](CpuId) { order.push_back(3); });
+  kernel_->RaiseSoftirq(0, 3);
+  kernel_->RaiseSoftirq(0, 0);
+  sim_.RunFor(sim::Micros(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 3}));
+}
+
+TEST_F(SoftirqTest, ComputeResumesAfterSoftirq) {
+  kernel_->RegisterSoftirq(0, [](CpuId) {});
+  Task* t = kernel_->Spawn("busy",
+                           std::make_unique<ScriptBehavior>(std::vector<Action>{
+                               Action::Compute(sim::Millis(2))}),
+                           CpuSet::Of({0}));
+  sim_.RunFor(sim::Micros(500));
+  kernel_->RaiseSoftirq(0, 0);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_GE(t->cpu_time(), sim::Millis(2));
+}
+
+}  // namespace
+}  // namespace taichi::os

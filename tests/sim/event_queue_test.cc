@@ -1,0 +1,126 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace taichi::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  q.PopNext().fn();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  EventId mid = q.Schedule(20, [&] { order.push_back(2); });
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 20u);
+}
+
+TEST(EventQueueTest, IsPendingTracksLifecycle) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.IsPending(id));
+  q.PopNext();
+  EXPECT_FALSE(q.IsPending(id));
+}
+
+TEST(EventQueueTest, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(i, [] {});
+  }
+  EXPECT_EQ(q.total_scheduled(), 5u);
+}
+
+TEST(EventQueueTest, StressManyEventsStayOrdered) {
+  EventQueue q;
+  // Pseudo-random times; verify nondecreasing pop order.
+  uint64_t seed = 42;
+  for (int i = 0; i < 10000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.Schedule(seed % 1000, [] {});
+  }
+  SimTime last = 0;
+  while (!q.empty()) {
+    auto fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+  }
+}
+
+}  // namespace
+}  // namespace taichi::sim

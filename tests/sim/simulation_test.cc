@@ -1,0 +1,119 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace taichi::sim {
+namespace {
+
+TEST(SimulationTest, ClockAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen = 0;
+  sim.Schedule(Micros(5), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, Micros(5));
+  EXPECT_EQ(sim.Now(), Micros(5));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Micros(1), [&] { ++fired; });
+  sim.Schedule(Micros(10), [&] { ++fired; });
+  sim.RunUntil(Micros(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(5));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunForAdvancesRelative) {
+  Simulation sim;
+  sim.Schedule(Millis(2), [] {});
+  sim.RunFor(Millis(1));
+  EXPECT_EQ(sim.Now(), Millis(1));
+  sim.RunFor(Millis(1));
+  EXPECT_EQ(sim.Now(), Millis(2));
+}
+
+TEST(SimulationTest, NestedSchedulingWorks) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(10, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SimulationTest, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // Resumes.
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, CancelledEventsDoNotRun) {
+  Simulation sim;
+  bool ran = false;
+  EventId id = sim.Schedule(5, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, EventsExecutedCounts) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulationTest, SameSeedIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 8; ++i) {
+      draws.push_back(sim.rng().Next());
+    }
+    return draws;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimulationTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulation sim;
+  SimTime when = 1;
+  sim.Schedule(0, [&] { when = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(when, 0u);
+}
+
+TEST(DurationTest, UnitHelpers) {
+  EXPECT_EQ(Micros(1), 1000u);
+  EXPECT_EQ(Millis(1), 1000u * 1000u);
+  EXPECT_EQ(Seconds(1), 1000u * 1000u * 1000u);
+  EXPECT_EQ(MicrosF(2.7), 2700u);
+  EXPECT_DOUBLE_EQ(ToMicros(2700), 2.7);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(67)), 67.0);
+}
+
+TEST(DurationTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500ns");
+  EXPECT_EQ(FormatDuration(MicrosF(2.7)), "2.70us");
+  EXPECT_EQ(FormatDuration(Millis(67)), "67.00ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000s");
+}
+
+}  // namespace
+}  // namespace taichi::sim

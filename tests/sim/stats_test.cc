@@ -1,0 +1,117 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace taichi::sim {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(SummaryTest, MdevMatchesPingDefinition) {
+  Summary s;
+  for (double v : {10.0, 20.0}) {
+    s.Add(v);
+  }
+  // Mean 15, |10-15| + |20-15| = 10, / 2 = 5.
+  EXPECT_DOUBLE_EQ(s.mdev(), 5.0);
+}
+
+TEST(SummaryTest, StddevSample) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(SummaryTest, PercentileExactOrderStatistics) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.01);
+}
+
+TEST(SummaryTest, PercentileSingleSample) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.9), 42.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileInvalidatesCache) {
+  Summary s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 1.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 10.0);
+}
+
+TEST(SummaryTest, ClearResets) {
+  Summary s;
+  s.Add(5.0);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(HistogramTest, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);   // Underflow.
+  h.Add(0.0);    // Bin 0.
+  h.Add(9.999);  // Bin 9.
+  h.Add(10.0);   // Overflow (hi is exclusive).
+  h.Add(5.5);    // Bin 5.
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(CdfBuilderTest, FractionBelow) {
+  CdfBuilder cdf;
+  for (int i = 1; i <= 100; ++i) {
+    cdf.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(50), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(1000), 1.0);
+}
+
+TEST(CdfBuilderTest, QuantileInverse) {
+  CdfBuilder cdf;
+  for (int i = 1; i <= 1000; ++i) {
+    cdf.Add(i);
+  }
+  EXPECT_NEAR(cdf.Quantile(0.9968), 997.0, 1.5);
+}
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  c.Inc();
+  c.Inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace taichi::sim

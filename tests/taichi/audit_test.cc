@@ -1,0 +1,119 @@
+// Tests for §8's on-demand instruction-level auditing.
+#include "src/taichi/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/os/behaviors.h"
+
+namespace taichi::core {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest() {
+    hw::MachineConfig mcfg;
+    mcfg.num_cpus = 4;
+    machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
+    kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
+    TaiChiConfig cfg;
+    cfg.dp_cpus = os::CpuSet::Range(0, 2);
+    cfg.cp_cpus = os::CpuSet::Range(2, 4);
+    cfg.num_vcpus = 2;
+    taichi_ = std::make_unique<TaiChi>(kernel_.get(), cfg);
+    sim_.RunFor(sim::Millis(1));
+    audit_ = std::make_unique<AuditDomain>(kernel_.get(), taichi_.get());
+  }
+
+  os::Task* SpawnSyscaller(int iterations) {
+    return kernel_->Spawn(
+        "target",
+        std::make_unique<os::LoopBehavior>(
+            std::vector<os::Action>{os::Action::Compute(sim::Micros(100)),
+                                    os::Action::KernelSection(sim::Micros(50))},
+            iterations),
+        os::CpuSet::Of({2}));
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<TaiChi> taichi_;
+  std::unique_ptr<AuditDomain> audit_;
+};
+
+TEST_F(AuditTest, RecordsPrivilegedOpsOnlyWhileAudited) {
+  os::Task* t = SpawnSyscaller(50);
+  sim_.RunFor(sim::Millis(2));
+  EXPECT_EQ(audit_->privileged_ops(), 0u);  // Not yet audited.
+
+  audit_->StartAudit(t);
+  EXPECT_TRUE(audit_->IsAudited(*t));
+  sim_.RunFor(sim::Millis(3));
+  uint64_t during = audit_->privileged_ops();
+  EXPECT_GT(during, 0u);
+
+  audit_->StopAudit(t);
+  EXPECT_FALSE(audit_->IsAudited(*t));
+  sim_.RunFor(sim::Millis(3));
+  EXPECT_EQ(audit_->privileged_ops(), during);  // No records after stop.
+}
+
+TEST_F(AuditTest, MigratesIntoVcpuDomainAndBack) {
+  os::Task* t = SpawnSyscaller(0);  // Run forever.
+  sim_.RunFor(sim::Millis(2));
+  EXPECT_EQ(t->cpu(), 2);
+
+  audit_->StartAudit(t);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_TRUE(taichi_->vcpu_set().Test(t->cpu()))
+      << "audited task must run in a vCPU context, was on " << t->cpu();
+
+  audit_->StopAudit(t);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->cpu(), 2);  // Transparently migrated back.
+}
+
+TEST_F(AuditTest, RecordsCarryDurations) {
+  os::Task* t = SpawnSyscaller(20);
+  audit_->StartAudit(t);
+  sim_.RunFor(sim::Millis(10));
+  ASSERT_FALSE(audit_->records().empty());
+  for (const AuditRecord& rec : audit_->records()) {
+    EXPECT_EQ(rec.task, t->id());
+    if (rec.op == os::Action::Type::kKernelSection) {
+      EXPECT_EQ(rec.duration, sim::Micros(50));
+    }
+  }
+}
+
+TEST_F(AuditTest, AuditedTaskStillCompletes) {
+  os::Task* t = SpawnSyscaller(30);
+  audit_->StartAudit(t);
+  sim_.RunFor(sim::Millis(50));
+  EXPECT_EQ(t->state(), os::TaskState::kExited);
+  // 30 iterations, each with one kernel section; lock ops not used here.
+  uint64_t sections = 0;
+  for (const AuditRecord& rec : audit_->records()) {
+    if (rec.op == os::Action::Type::kKernelSection) {
+      ++sections;
+    }
+  }
+  EXPECT_GT(sections, 20u);  // Most iterations ran under audit.
+}
+
+TEST_F(AuditTest, DoubleStartAndStopAreIdempotent) {
+  os::Task* t = SpawnSyscaller(0);
+  audit_->StartAudit(t);
+  audit_->StartAudit(t);
+  EXPECT_EQ(audit_->audited_count(), 1u);
+  audit_->StopAudit(t);
+  audit_->StopAudit(t);
+  EXPECT_EQ(audit_->audited_count(), 0u);
+  sim_.RunFor(sim::Millis(5));
+  EXPECT_EQ(t->cpu(), 2);  // Original affinity survived the double cycle.
+}
+
+}  // namespace
+}  // namespace taichi::core

@@ -1,0 +1,81 @@
+#include "src/taichi/sw_probe.h"
+
+#include <gtest/gtest.h>
+
+namespace taichi::core {
+namespace {
+
+class SwProbeTest : public ::testing::Test {
+ protected:
+  SwProbeTest() : probe_(config_) {
+    probe_.RegisterDpService(0, [this] { return idle_; });
+  }
+
+  TaiChiConfig config_;
+  SwWorkloadProbe probe_;
+  bool idle_ = true;
+};
+
+TEST_F(SwProbeTest, InitialThreshold) {
+  EXPECT_EQ(probe_.yield_threshold(0), config_.initial_yield_threshold);
+  // Unregistered CPUs report the initial threshold too.
+  EXPECT_EQ(probe_.yield_threshold(5), config_.initial_yield_threshold);
+}
+
+TEST_F(SwProbeTest, SustainedIdleHalvesDownToMin) {
+  for (int i = 0; i < 20; ++i) {
+    probe_.OnSustainedIdle(0);
+  }
+  EXPECT_EQ(probe_.yield_threshold(0), config_.min_yield_threshold);
+}
+
+TEST_F(SwProbeTest, FalsePositiveDoublesUpToMax) {
+  for (int i = 0; i < 20; ++i) {
+    probe_.OnFalsePositive(0);
+  }
+  EXPECT_EQ(probe_.yield_threshold(0), config_.max_yield_threshold);
+}
+
+TEST_F(SwProbeTest, AdaptationConverges) {
+  // Alternating signals keep N within bounds.
+  for (int i = 0; i < 100; ++i) {
+    probe_.OnFalsePositive(0);
+    probe_.OnSustainedIdle(0);
+    EXPECT_GE(probe_.yield_threshold(0), config_.min_yield_threshold);
+    EXPECT_LE(probe_.yield_threshold(0), config_.max_yield_threshold);
+  }
+}
+
+TEST_F(SwProbeTest, AdaptationCanBeDisabled) {
+  TaiChiConfig fixed = config_;
+  fixed.adaptive_yield_threshold = false;
+  SwWorkloadProbe probe(fixed);
+  probe.RegisterDpService(0, [] { return true; });
+  probe.OnFalsePositive(0);
+  probe.OnSustainedIdle(0);
+  EXPECT_EQ(probe.yield_threshold(0), fixed.initial_yield_threshold);
+  EXPECT_EQ(probe.false_positives(), 1u);
+  EXPECT_EQ(probe.sustained_idles(), 1u);
+}
+
+TEST_F(SwProbeTest, IsDpIdleReflectsCallback) {
+  idle_ = true;
+  EXPECT_TRUE(probe_.IsDpIdle(0));
+  idle_ = false;
+  EXPECT_FALSE(probe_.IsDpIdle(0));
+  EXPECT_FALSE(probe_.IsDpIdle(3));  // No service registered.
+}
+
+TEST_F(SwProbeTest, HasDpService) {
+  EXPECT_TRUE(probe_.HasDpService(0));
+  EXPECT_FALSE(probe_.HasDpService(1));
+}
+
+TEST_F(SwProbeTest, PerCpuThresholdsAreIndependent) {
+  probe_.RegisterDpService(1, [] { return true; });
+  probe_.OnFalsePositive(0);
+  EXPECT_GT(probe_.yield_threshold(0), probe_.yield_threshold(1));
+}
+
+}  // namespace
+}  // namespace taichi::core
