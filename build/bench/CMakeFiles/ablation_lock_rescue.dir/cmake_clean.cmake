@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_rescue.dir/ablation_lock_rescue.cc.o"
+  "CMakeFiles/ablation_lock_rescue.dir/ablation_lock_rescue.cc.o.d"
+  "ablation_lock_rescue"
+  "ablation_lock_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multidim_probe.dir/ablation_multidim_probe.cc.o"
+  "CMakeFiles/ablation_multidim_probe.dir/ablation_multidim_probe.cc.o.d"
+  "ablation_multidim_probe"
+  "ablation_multidim_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multidim_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

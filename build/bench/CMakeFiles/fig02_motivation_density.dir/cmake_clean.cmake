@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_motivation_density.dir/fig02_motivation_density.cc.o"
+  "CMakeFiles/fig02_motivation_density.dir/fig02_motivation_density.cc.o.d"
+  "fig02_motivation_density"
+  "fig02_motivation_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dp_util_cdf.dir/fig03_dp_util_cdf.cc.o"
+  "CMakeFiles/fig03_dp_util_cdf.dir/fig03_dp_util_cdf.cc.o.d"
+  "fig03_dp_util_cdf"
+  "fig03_dp_util_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dp_util_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_dp_util_cdf.
+# This may be replaced when dependencies are built.

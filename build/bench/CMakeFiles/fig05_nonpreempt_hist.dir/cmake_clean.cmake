@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_nonpreempt_hist.dir/fig05_nonpreempt_hist.cc.o"
+  "CMakeFiles/fig05_nonpreempt_hist.dir/fig05_nonpreempt_hist.cc.o.d"
+  "fig05_nonpreempt_hist"
+  "fig05_nonpreempt_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_nonpreempt_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

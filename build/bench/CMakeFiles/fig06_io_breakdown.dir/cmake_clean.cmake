@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_io_breakdown.dir/fig06_io_breakdown.cc.o"
+  "CMakeFiles/fig06_io_breakdown.dir/fig06_io_breakdown.cc.o.d"
+  "fig06_io_breakdown"
+  "fig06_io_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_io_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

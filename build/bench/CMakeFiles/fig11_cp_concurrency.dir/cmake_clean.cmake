@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cp_concurrency.dir/fig11_cp_concurrency.cc.o"
+  "CMakeFiles/fig11_cp_concurrency.dir/fig11_cp_concurrency.cc.o.d"
+  "fig11_cp_concurrency"
+  "fig11_cp_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cp_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

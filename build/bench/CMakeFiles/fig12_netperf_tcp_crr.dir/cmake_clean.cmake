@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_netperf_tcp_crr.dir/fig12_netperf_tcp_crr.cc.o"
+  "CMakeFiles/fig12_netperf_tcp_crr.dir/fig12_netperf_tcp_crr.cc.o.d"
+  "fig12_netperf_tcp_crr"
+  "fig12_netperf_tcp_crr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_netperf_tcp_crr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fio_iops.dir/fig13_fio_iops.cc.o"
+  "CMakeFiles/fig13_fio_iops.dir/fig13_fio_iops.cc.o.d"
+  "fig13_fio_iops"
+  "fig13_fio_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fio_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

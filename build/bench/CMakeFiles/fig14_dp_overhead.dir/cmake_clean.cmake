@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dp_overhead.dir/fig14_dp_overhead.cc.o"
+  "CMakeFiles/fig14_dp_overhead.dir/fig14_dp_overhead.cc.o.d"
+  "fig14_dp_overhead"
+  "fig14_dp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mysql.dir/fig15_mysql.cc.o"
+  "CMakeFiles/fig15_mysql.dir/fig15_mysql.cc.o.d"
+  "fig15_mysql"
+  "fig15_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_nginx.dir/fig16_nginx.cc.o"
+  "CMakeFiles/fig16_nginx.dir/fig16_nginx.cc.o.d"
+  "fig16_nginx"
+  "fig16_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

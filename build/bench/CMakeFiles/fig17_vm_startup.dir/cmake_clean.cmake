@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_vm_startup.dir/fig17_vm_startup.cc.o"
+  "CMakeFiles/fig17_vm_startup.dir/fig17_vm_startup.cc.o.d"
+  "fig17_vm_startup"
+  "fig17_vm_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_vm_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_dp_boost.dir/sec8_dp_boost.cc.o"
+  "CMakeFiles/sec8_dp_boost.dir/sec8_dp_boost.cc.o.d"
+  "sec8_dp_boost"
+  "sec8_dp_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_dp_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

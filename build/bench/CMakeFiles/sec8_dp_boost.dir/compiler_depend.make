@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec8_dp_boost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_mechanism_compare.dir/tab01_mechanism_compare.cc.o"
+  "CMakeFiles/tab01_mechanism_compare.dir/tab01_mechanism_compare.cc.o.d"
+  "tab01_mechanism_compare"
+  "tab01_mechanism_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_mechanism_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

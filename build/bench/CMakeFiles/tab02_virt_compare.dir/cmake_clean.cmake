@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_virt_compare.dir/tab02_virt_compare.cc.o"
+  "CMakeFiles/tab02_virt_compare.dir/tab02_virt_compare.cc.o.d"
+  "tab02_virt_compare"
+  "tab02_virt_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_virt_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

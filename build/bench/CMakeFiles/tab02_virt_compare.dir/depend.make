@@ -1,0 +1,2 @@
+# Empty dependencies file for tab02_virt_compare.
+# This may be replaced when dependencies are built.

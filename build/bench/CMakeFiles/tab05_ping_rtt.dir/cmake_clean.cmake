@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_ping_rtt.dir/tab05_ping_rtt.cc.o"
+  "CMakeFiles/tab05_ping_rtt.dir/tab05_ping_rtt.cc.o.d"
+  "tab05_ping_rtt"
+  "tab05_ping_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_ping_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

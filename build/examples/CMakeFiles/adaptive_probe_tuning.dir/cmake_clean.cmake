@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_probe_tuning.dir/adaptive_probe_tuning.cpp.o"
+  "CMakeFiles/adaptive_probe_tuning.dir/adaptive_probe_tuning.cpp.o.d"
+  "adaptive_probe_tuning"
+  "adaptive_probe_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_probe_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

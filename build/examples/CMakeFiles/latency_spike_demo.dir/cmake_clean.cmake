@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_spike_demo.dir/latency_spike_demo.cpp.o"
+  "CMakeFiles/latency_spike_demo.dir/latency_spike_demo.cpp.o.d"
+  "latency_spike_demo"
+  "latency_spike_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_spike_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_startup_storm.dir/vm_startup_storm.cpp.o"
+  "CMakeFiles/vm_startup_storm.dir/vm_startup_storm.cpp.o.d"
+  "vm_startup_storm"
+  "vm_startup_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_startup_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

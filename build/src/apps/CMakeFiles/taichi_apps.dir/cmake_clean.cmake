@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_apps.dir/mysql_sim.cc.o"
+  "CMakeFiles/taichi_apps.dir/mysql_sim.cc.o.d"
+  "CMakeFiles/taichi_apps.dir/nginx_sim.cc.o"
+  "CMakeFiles/taichi_apps.dir/nginx_sim.cc.o.d"
+  "libtaichi_apps.a"
+  "libtaichi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cp/cp_profiles.cc" "src/cp/CMakeFiles/taichi_cp.dir/cp_profiles.cc.o" "gcc" "src/cp/CMakeFiles/taichi_cp.dir/cp_profiles.cc.o.d"
+  "/root/repo/src/cp/device_manager.cc" "src/cp/CMakeFiles/taichi_cp.dir/device_manager.cc.o" "gcc" "src/cp/CMakeFiles/taichi_cp.dir/device_manager.cc.o.d"
+  "/root/repo/src/cp/monitor.cc" "src/cp/CMakeFiles/taichi_cp.dir/monitor.cc.o" "gcc" "src/cp/CMakeFiles/taichi_cp.dir/monitor.cc.o.d"
+  "/root/repo/src/cp/synth_cp.cc" "src/cp/CMakeFiles/taichi_cp.dir/synth_cp.cc.o" "gcc" "src/cp/CMakeFiles/taichi_cp.dir/synth_cp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/taichi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/taichi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

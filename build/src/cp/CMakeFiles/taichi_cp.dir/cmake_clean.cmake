@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_cp.dir/cp_profiles.cc.o"
+  "CMakeFiles/taichi_cp.dir/cp_profiles.cc.o.d"
+  "CMakeFiles/taichi_cp.dir/device_manager.cc.o"
+  "CMakeFiles/taichi_cp.dir/device_manager.cc.o.d"
+  "CMakeFiles/taichi_cp.dir/monitor.cc.o"
+  "CMakeFiles/taichi_cp.dir/monitor.cc.o.d"
+  "CMakeFiles/taichi_cp.dir/synth_cp.cc.o"
+  "CMakeFiles/taichi_cp.dir/synth_cp.cc.o.d"
+  "libtaichi_cp.a"
+  "libtaichi_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

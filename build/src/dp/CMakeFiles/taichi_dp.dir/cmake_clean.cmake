@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_dp.dir/poll_service.cc.o"
+  "CMakeFiles/taichi_dp.dir/poll_service.cc.o.d"
+  "CMakeFiles/taichi_dp.dir/sources.cc.o"
+  "CMakeFiles/taichi_dp.dir/sources.cc.o.d"
+  "libtaichi_dp.a"
+  "libtaichi_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_exp.dir/runners.cc.o"
+  "CMakeFiles/taichi_exp.dir/runners.cc.o.d"
+  "CMakeFiles/taichi_exp.dir/testbed.cc.o"
+  "CMakeFiles/taichi_exp.dir/testbed.cc.o.d"
+  "libtaichi_exp.a"
+  "libtaichi_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/hw/CMakeFiles/taichi_hw.dir/accelerator.cc.o" "gcc" "src/hw/CMakeFiles/taichi_hw.dir/accelerator.cc.o.d"
+  "/root/repo/src/hw/apic.cc" "src/hw/CMakeFiles/taichi_hw.dir/apic.cc.o" "gcc" "src/hw/CMakeFiles/taichi_hw.dir/apic.cc.o.d"
+  "/root/repo/src/hw/hw_probe.cc" "src/hw/CMakeFiles/taichi_hw.dir/hw_probe.cc.o" "gcc" "src/hw/CMakeFiles/taichi_hw.dir/hw_probe.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/taichi_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/taichi_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic_port.cc" "src/hw/CMakeFiles/taichi_hw.dir/nic_port.cc.o" "gcc" "src/hw/CMakeFiles/taichi_hw.dir/nic_port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

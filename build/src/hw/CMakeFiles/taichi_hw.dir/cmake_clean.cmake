@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_hw.dir/accelerator.cc.o"
+  "CMakeFiles/taichi_hw.dir/accelerator.cc.o.d"
+  "CMakeFiles/taichi_hw.dir/apic.cc.o"
+  "CMakeFiles/taichi_hw.dir/apic.cc.o.d"
+  "CMakeFiles/taichi_hw.dir/hw_probe.cc.o"
+  "CMakeFiles/taichi_hw.dir/hw_probe.cc.o.d"
+  "CMakeFiles/taichi_hw.dir/machine.cc.o"
+  "CMakeFiles/taichi_hw.dir/machine.cc.o.d"
+  "CMakeFiles/taichi_hw.dir/nic_port.cc.o"
+  "CMakeFiles/taichi_hw.dir/nic_port.cc.o.d"
+  "libtaichi_hw.a"
+  "libtaichi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

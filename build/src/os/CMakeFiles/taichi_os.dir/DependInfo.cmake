@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cgroup.cc" "src/os/CMakeFiles/taichi_os.dir/cgroup.cc.o" "gcc" "src/os/CMakeFiles/taichi_os.dir/cgroup.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/taichi_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/taichi_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/types.cc" "src/os/CMakeFiles/taichi_os.dir/types.cc.o" "gcc" "src/os/CMakeFiles/taichi_os.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/taichi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

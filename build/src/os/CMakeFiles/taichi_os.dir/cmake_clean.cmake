@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_os.dir/cgroup.cc.o"
+  "CMakeFiles/taichi_os.dir/cgroup.cc.o.d"
+  "CMakeFiles/taichi_os.dir/kernel.cc.o"
+  "CMakeFiles/taichi_os.dir/kernel.cc.o.d"
+  "CMakeFiles/taichi_os.dir/types.cc.o"
+  "CMakeFiles/taichi_os.dir/types.cc.o.d"
+  "libtaichi_os.a"
+  "libtaichi_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_sim.dir/event_queue.cc.o"
+  "CMakeFiles/taichi_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/logging.cc.o"
+  "CMakeFiles/taichi_sim.dir/logging.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/random.cc.o"
+  "CMakeFiles/taichi_sim.dir/random.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/simulation.cc.o"
+  "CMakeFiles/taichi_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/stats.cc.o"
+  "CMakeFiles/taichi_sim.dir/stats.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/table.cc.o"
+  "CMakeFiles/taichi_sim.dir/table.cc.o.d"
+  "CMakeFiles/taichi_sim.dir/time.cc.o"
+  "CMakeFiles/taichi_sim.dir/time.cc.o.d"
+  "libtaichi_sim.a"
+  "libtaichi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taichi/audit.cc" "src/taichi/CMakeFiles/taichi_core.dir/audit.cc.o" "gcc" "src/taichi/CMakeFiles/taichi_core.dir/audit.cc.o.d"
+  "/root/repo/src/taichi/ipi_orchestrator.cc" "src/taichi/CMakeFiles/taichi_core.dir/ipi_orchestrator.cc.o" "gcc" "src/taichi/CMakeFiles/taichi_core.dir/ipi_orchestrator.cc.o.d"
+  "/root/repo/src/taichi/sw_probe.cc" "src/taichi/CMakeFiles/taichi_core.dir/sw_probe.cc.o" "gcc" "src/taichi/CMakeFiles/taichi_core.dir/sw_probe.cc.o.d"
+  "/root/repo/src/taichi/taichi.cc" "src/taichi/CMakeFiles/taichi_core.dir/taichi.cc.o" "gcc" "src/taichi/CMakeFiles/taichi_core.dir/taichi.cc.o.d"
+  "/root/repo/src/taichi/vcpu_scheduler.cc" "src/taichi/CMakeFiles/taichi_core.dir/vcpu_scheduler.cc.o" "gcc" "src/taichi/CMakeFiles/taichi_core.dir/vcpu_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/taichi_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/taichi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/taichi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

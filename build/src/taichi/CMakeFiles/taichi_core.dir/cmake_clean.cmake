@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_core.dir/audit.cc.o"
+  "CMakeFiles/taichi_core.dir/audit.cc.o.d"
+  "CMakeFiles/taichi_core.dir/ipi_orchestrator.cc.o"
+  "CMakeFiles/taichi_core.dir/ipi_orchestrator.cc.o.d"
+  "CMakeFiles/taichi_core.dir/sw_probe.cc.o"
+  "CMakeFiles/taichi_core.dir/sw_probe.cc.o.d"
+  "CMakeFiles/taichi_core.dir/taichi.cc.o"
+  "CMakeFiles/taichi_core.dir/taichi.cc.o.d"
+  "CMakeFiles/taichi_core.dir/vcpu_scheduler.cc.o"
+  "CMakeFiles/taichi_core.dir/vcpu_scheduler.cc.o.d"
+  "libtaichi_core.a"
+  "libtaichi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/guest_exit_mux.cc" "src/virt/CMakeFiles/taichi_virt.dir/guest_exit_mux.cc.o" "gcc" "src/virt/CMakeFiles/taichi_virt.dir/guest_exit_mux.cc.o.d"
+  "/root/repo/src/virt/vcpu_pool.cc" "src/virt/CMakeFiles/taichi_virt.dir/vcpu_pool.cc.o" "gcc" "src/virt/CMakeFiles/taichi_virt.dir/vcpu_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/taichi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/taichi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

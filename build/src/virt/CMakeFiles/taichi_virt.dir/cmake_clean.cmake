@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_virt.dir/guest_exit_mux.cc.o"
+  "CMakeFiles/taichi_virt.dir/guest_exit_mux.cc.o.d"
+  "CMakeFiles/taichi_virt.dir/vcpu_pool.cc.o"
+  "CMakeFiles/taichi_virt.dir/vcpu_pool.cc.o.d"
+  "libtaichi_virt.a"
+  "libtaichi_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_tests.dir/cp/cp_tasks_test.cc.o"
+  "CMakeFiles/cp_tests.dir/cp/cp_tasks_test.cc.o.d"
+  "cp_tests"
+  "cp_tests.pdb"
+  "cp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_tests.dir/dp/poll_service_test.cc.o"
+  "CMakeFiles/dp_tests.dir/dp/poll_service_test.cc.o.d"
+  "CMakeFiles/dp_tests.dir/dp/sources_test.cc.o"
+  "CMakeFiles/dp_tests.dir/dp/sources_test.cc.o.d"
+  "dp_tests"
+  "dp_tests.pdb"
+  "dp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

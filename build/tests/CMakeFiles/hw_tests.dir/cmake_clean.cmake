@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/accelerator_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/accelerator_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/apic_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/apic_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/hw_probe_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/hw_probe_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/nic_port_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/nic_port_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/ring_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/ring_test.cc.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/modes_property_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/modes_property_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/modes_property_test.cc.o.d"
+  "/root/repo/tests/integration/testbed_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/testbed_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/testbed_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/taichi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/taichi_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cp/CMakeFiles/taichi_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/taichi_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/taichi/CMakeFiles/taichi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/taichi_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/taichi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/taichi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taichi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_tests.dir/os/affinity_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/affinity_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/cgroup_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/cgroup_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/cpuset_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/cpuset_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/guest_mode_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/guest_mode_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/kernel_edge_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/kernel_edge_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/kernel_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/kernel_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/sched_property_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/sched_property_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/softirq_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/softirq_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/spinlock_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/spinlock_test.cc.o.d"
+  "os_tests"
+  "os_tests.pdb"
+  "os_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for os_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taichi_tests.dir/taichi/audit_test.cc.o"
+  "CMakeFiles/taichi_tests.dir/taichi/audit_test.cc.o.d"
+  "CMakeFiles/taichi_tests.dir/taichi/sw_probe_test.cc.o"
+  "CMakeFiles/taichi_tests.dir/taichi/sw_probe_test.cc.o.d"
+  "CMakeFiles/taichi_tests.dir/taichi/taichi_test.cc.o"
+  "CMakeFiles/taichi_tests.dir/taichi/taichi_test.cc.o.d"
+  "taichi_tests"
+  "taichi_tests.pdb"
+  "taichi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taichi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_tests.dir/virt/virt_test.cc.o"
+  "CMakeFiles/virt_tests.dir/virt/virt_test.cc.o.d"
+  "virt_tests"
+  "virt_tests.pdb"
+  "virt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

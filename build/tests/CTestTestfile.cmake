@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/os_tests[1]_include.cmake")
+include("/root/repo/build/tests/taichi_tests[1]_include.cmake")
+include("/root/repo/build/tests/virt_tests[1]_include.cmake")
+include("/root/repo/build/tests/dp_tests[1]_include.cmake")
+include("/root/repo/build/tests/cp_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
