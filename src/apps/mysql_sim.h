@@ -39,6 +39,12 @@ class MysqlSim {
   MysqlSim(exp::Testbed* bed, MysqlConfig config, uint16_t owner = 20);
   MysqlResult Run(sim::Duration duration, sim::Duration warmup);
 
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "app.mysql") const {
+    registry.AddGauge(prefix + ".queries", [this] { return static_cast<double>(queries_); });
+    registry.AddSummary(prefix + ".query_latency_us", &query_latency_us_);
+  }
+
  private:
   void SendQuery(uint64_t thread);
   void FinishServerSide(uint64_t thread);

@@ -35,6 +35,12 @@ class NginxSim {
   ~NginxSim();
   NginxResult Run(sim::Duration duration, sim::Duration warmup);
 
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "app.nginx") const {
+    registry.AddGauge(prefix + ".requests", [this] { return static_cast<double>(requests_); });
+    registry.AddSummary(prefix + ".request_latency_us", &request_latency_us_);
+  }
+
  private:
   struct Conn;
   void StartCycle(Conn& conn);

@@ -53,6 +53,16 @@ class DeviceManager {
   // VM startup latencies, in milliseconds (Fig. 2 / Fig. 17 metric).
   const sim::Summary& startup_ms() const { return startup_ms_; }
 
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "cp.vm_startup") const {
+    registry.AddGauge(prefix + ".started", [this] { return static_cast<double>(started_); });
+    registry.AddGauge(prefix + ".completed", [this] { return static_cast<double>(completed_); });
+    registry.AddSummary(prefix + ".latency_ms", &startup_ms_);
+    for (const auto& lock : driver_locks_) {
+      lock->RegisterMetrics(registry);
+    }
+  }
+
   os::KernelSpinlock& driver_lock(int device_index);
   const VmStartupConfig& config() const { return config_; }
 

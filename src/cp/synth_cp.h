@@ -41,6 +41,14 @@ class SynthCpBenchmark {
 
   os::KernelSpinlock& driver_lock() { return driver_lock_; }
 
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "cp.synth") const {
+    registry.AddGauge(prefix + ".launched", [this] { return static_cast<double>(launched_); });
+    registry.AddGauge(prefix + ".done", [this] { return static_cast<double>(done_); });
+    registry.AddSummary(prefix + ".exec_time_ms", &exec_time_ms_);
+    driver_lock_.RegisterMetrics(registry);
+  }
+
  private:
   class TaskBody;
 

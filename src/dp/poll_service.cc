@@ -84,12 +84,18 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
 
   // Deliver the batch whose processing just completed.
   if (!inflight_.empty() && last.type == os::Action::Type::kCompute) {
+    uint64_t burst_bytes = 0;
     for (const hw::IoPacket& pkt : inflight_) {
-      ++packets_processed_;
-      bytes_processed_ += pkt.size_bytes;
+      packets_processed_.Inc();
+      bytes_processed_.Inc(pkt.size_bytes);
+      burst_bytes += pkt.size_bytes;
       if (sink_) {
         sink_(pkt, now);
       }
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(now, cpu_, obs::TraceCategory::kDp, "dp_burst", inflight_.size(),
+                       burst_bytes);
     }
     inflight_.clear();
   }
@@ -118,7 +124,7 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
 
     case YieldPolicy::kBlockOnIdle:
       if (last.type == os::Action::Type::kBusyPoll && last.busy_poll_timeout) {
-        ++yields_;
+        yields_.Inc();
         return os::Action::Block();  // Interrupt-mode idle; push wakes us.
       }
       return os::Action::BusyPoll(static_cast<sim::Duration>(config_.block_threshold) *
@@ -132,7 +138,10 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
         // (Fig. 9 line 14). The vCPU switch softirq will take the CPU from
         // inside the unbounded poll below.
         counting_done_ = true;
-        ++yields_;
+        yields_.Inc();
+        if (tracer_ != nullptr) {
+          tracer_->Instant(now, cpu_, obs::TraceCategory::kDp, "dp_yield");
+        }
         probe_->NotifyIdleDpCpuCycles(cpu_);
         return os::Action::BusyPoll(0);
       }

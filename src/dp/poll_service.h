@@ -78,13 +78,25 @@ class PollService : public os::Behavior {
   void OnScheduledIn(os::Kernel& kernel, os::Task& task) override;
 
   // --- Statistics ---
-  uint64_t packets_processed() const { return packets_processed_; }
-  uint64_t bytes_processed() const { return bytes_processed_; }
+  uint64_t packets_processed() const { return packets_processed_.value(); }
+  uint64_t bytes_processed() const { return bytes_processed_.value(); }
   sim::Duration work_time() const { return work_time_; }  // Useful work only.
-  uint64_t yields() const { return yields_; }
+  uint64_t yields() const { return yields_.value(); }
   // Time a descriptor sat in the ring before the service picked it up — the
   // latency-spike signal (queue delay includes any vCPU displacement).
   const sim::Summary& queue_delay_us() const { return queue_delay_us_; }
+
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  // Registers as "<prefix>.*"; Testbed uses "dp.svc<cpu>".
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
+    registry.AddCounter(prefix + ".packets", &packets_processed_);
+    registry.AddCounter(prefix + ".bytes", &bytes_processed_);
+    registry.AddCounter(prefix + ".yields", &yields_);
+    registry.AddGauge(prefix + ".work_time_us",
+                      [this] { return sim::ToMicros(work_time_); });
+    registry.AddSummary(prefix + ".queue_delay_us", &queue_delay_us_);
+  }
 
  private:
   sim::Duration BatchCost(const std::vector<hw::IoPacket>& batch, sim::SimTime now);
@@ -97,6 +109,7 @@ class PollService : public os::Behavior {
   os::Kernel* kernel_ = nullptr;
   os::Task* task_ = nullptr;
   core::SwWorkloadProbe* probe_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
 
   std::vector<hw::IoPacket> inflight_;
   bool counting_done_ = false;  // Finished an empty-poll counting window.
@@ -105,10 +118,10 @@ class PollService : public os::Behavior {
   double pollution_credit_ = 0;
   sim::Duration pollution_remaining_ = 0;
 
-  uint64_t packets_processed_ = 0;
-  uint64_t bytes_processed_ = 0;
+  sim::Counter packets_processed_;
+  sim::Counter bytes_processed_;
   sim::Duration work_time_ = 0;
-  uint64_t yields_ = 0;
+  sim::Counter yields_;
   sim::Summary queue_delay_us_;
 };
 

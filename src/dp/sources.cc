@@ -55,15 +55,15 @@ void OpenLoopSource::ScheduleNext() {
     pkt.flow = config_.flow;
     pkt.user_tag = config_.user_tag;
     pkt.created = sim_->Now();
-    ++injected_;
+    injected_.Inc();
     accel_->Ingress(queue_, pkt);
     ScheduleNext();
   });
 }
 
 void OpenLoopSource::OnDelivered(const hw::IoPacket& pkt, sim::SimTime completed) {
-  ++delivered_;
-  delivered_bytes_ += pkt.size_bytes;
+  delivered_.Inc();
+  delivered_bytes_.Inc(pkt.size_bytes);
   latency_us_.Add(sim::ToMicros(completed - pkt.created));
 }
 

@@ -42,10 +42,18 @@ class OpenLoopSource {
   // The experiment sink forwards per-packet completions here.
   void OnDelivered(const hw::IoPacket& pkt, sim::SimTime completed);
 
-  uint64_t injected() const { return injected_; }
-  uint64_t delivered() const { return delivered_; }
-  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  uint64_t injected() const { return injected_.value(); }
+  uint64_t delivered() const { return delivered_.value(); }
+  uint64_t delivered_bytes() const { return delivered_bytes_.value(); }
   const sim::Summary& latency_us() const { return latency_us_; }
+
+  // Registers as "<prefix>.*"; Testbed uses "src<i>".
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
+    registry.AddCounter(prefix + ".injected", &injected_);
+    registry.AddCounter(prefix + ".delivered", &delivered_);
+    registry.AddCounter(prefix + ".delivered_bytes", &delivered_bytes_);
+    registry.AddSummary(prefix + ".latency_us", &latency_us_);
+  }
 
  private:
   void ScheduleNext();
@@ -60,9 +68,9 @@ class OpenLoopSource {
   bool burst_state_ = false;
   sim::SimTime state_until_ = 0;
   uint64_t next_id_ = 1;
-  uint64_t injected_ = 0;
-  uint64_t delivered_ = 0;
-  uint64_t delivered_bytes_ = 0;
+  sim::Counter injected_;
+  sim::Counter delivered_;
+  sim::Counter delivered_bytes_;
   sim::Summary latency_us_;
 };
 

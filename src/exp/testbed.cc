@@ -228,6 +228,9 @@ void Testbed::StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
                                                     queues_[i], ocfg,
                                                     config_.seed * 77 + i);
     src->Start();
+    if (obs_ != nullptr) {
+      src->RegisterMetrics(obs_->metrics, "src" + std::to_string(background_.size()));
+    }
     background_.push_back(std::move(src));
   }
 }
@@ -268,6 +271,9 @@ void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
                                                     queues_[i], ocfg,
                                                     config_.seed * 91 + i);
     src->Start();
+    if (obs_ != nullptr) {
+      src->RegisterMetrics(obs_->metrics, "src" + std::to_string(background_.size()));
+    }
     background_.push_back(std::move(src));
   }
 }
@@ -292,6 +298,36 @@ void Testbed::SpawnBackgroundCp() {
   }
   cp::SpawnMonitorFleet(kernel_.get(), config_.monitors, cp_task_cpus_, &monitor_lock_,
                         config_.seed ^ 0x3a0b17);
+}
+
+void Testbed::AttachObservability(obs::Observability* obs) {
+  obs_ = obs;
+  obs::TraceRecorder* tracer = obs != nullptr ? &obs->trace : nullptr;
+  kernel_->set_tracer(tracer);
+  machine_->apic().set_tracer(tracer);
+  machine_->accelerator().set_tracer(tracer);
+  machine_->probe().set_tracer(tracer);
+  for (auto& service : services_) {
+    service->set_tracer(tracer);
+  }
+  if (taichi_ != nullptr) {
+    taichi_->AttachObservability(obs);
+  }
+  if (obs == nullptr) {
+    return;
+  }
+  kernel_->RegisterMetrics(obs->metrics);
+  machine_->apic().RegisterMetrics(obs->metrics);
+  machine_->accelerator().RegisterMetrics(obs->metrics);
+  machine_->probe().RegisterMetrics(obs->metrics);
+  for (auto& service : services_) {
+    service->RegisterMetrics(obs->metrics, "dp.svc" + std::to_string(service->cpu()));
+  }
+  for (size_t i = 0; i < background_.size(); ++i) {
+    background_[i]->RegisterMetrics(obs->metrics, "src" + std::to_string(i));
+  }
+  device_manager_->RegisterMetrics(obs->metrics);
+  monitor_lock_.RegisterMetrics(obs->metrics);
 }
 
 }  // namespace taichi::exp

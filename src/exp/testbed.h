@@ -25,6 +25,7 @@
 #include "src/dp/poll_service.h"
 #include "src/dp/sources.h"
 #include "src/hw/machine.h"
+#include "src/obs/observability.h"
 #include "src/os/kernel.h"
 #include "src/sim/simulation.h"
 #include "src/taichi/taichi.h"
@@ -145,6 +146,15 @@ class Testbed {
   // Spawns the standard background CP fleet (monitors) for this mode.
   void SpawnBackgroundCp();
 
+  // Wires the unified observability layer (metrics + tracer) through every
+  // component of the node: kernel, interrupt fabric, accelerator, HW probe,
+  // the Tai Chi core (if this mode runs it), poll services, traffic sources
+  // and the CP workloads. Sources started after this call register
+  // themselves as they are created. Pass nullptr to detach the tracer
+  // (registered metrics stay registered). The Observability object must
+  // outlive the testbed or a subsequent AttachObservability(nullptr).
+  void AttachObservability(obs::Observability* obs);
+
  private:
   void BuildTopology();
   void BuildServices();
@@ -170,6 +180,7 @@ class Testbed {
   std::unordered_map<uint16_t, Sink> wire_sinks_;
   std::unordered_map<uint16_t, Sink> storage_sinks_;
   os::KernelSpinlock monitor_lock_{"monitor_log_lock"};
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace taichi::exp

@@ -10,13 +10,37 @@ uint32_t Accelerator::AddQueue(uint32_t dest_cpu) {
   q.dest_cpu = dest_cpu;
   q.ring = std::make_unique<DescriptorRing>();
   queues_.push_back(std::move(q));
-  return static_cast<uint32_t>(queues_.size() - 1);
+  uint32_t id = static_cast<uint32_t>(queues_.size() - 1);
+  if (tracer_ != nullptr) {
+    tracer_->SetTrackName(obs::kAccelTrackBase + static_cast<int32_t>(id),
+                          "accel q" + std::to_string(id));
+  }
+  return id;
+}
+
+void Accelerator::set_tracer(obs::TraceRecorder* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  for (size_t q = 0; q < queues_.size(); ++q) {
+    tracer_->SetTrackName(obs::kAccelTrackBase + static_cast<int32_t>(q),
+                          "accel q" + std::to_string(q));
+  }
+}
+
+void Accelerator::RegisterMetrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.AddCounter(prefix + ".ingressed", &ingressed_);
+  registry.AddCounter(prefix + ".published", &published_);
+  registry.AddCounterFn(prefix + ".ring_drops", [this] { return ring_drops(); });
+  registry.AddSummary(prefix + ".residency_us", &residency_us_);
 }
 
 void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
   assert(queue < queues_.size());
   Queue& q = queues_[queue];
-  ++ingressed_;
+  ingressed_.Inc();
 
   // Step 1 of the probe (Fig. 10): before preprocessing starts, look up the
   // destination CPU's state and raise the preemption IRQ if it is V-state.
@@ -30,6 +54,15 @@ void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
   ++q.in_flight;
   const sim::SimTime publish =
       start + config_.preprocess_latency + config_.transfer_latency;
+  if (tracer_ != nullptr) {
+    // The pipeline is deterministic, so both stage spans can be emitted now
+    // (trace timestamps may lie in the simulated future).
+    const int32_t track = obs::kAccelTrackBase + static_cast<int32_t>(queue);
+    tracer_->Complete(start, config_.preprocess_latency, track, obs::TraceCategory::kAccel,
+                      "preprocess", pkt.id, q.dest_cpu);
+    tracer_->Complete(start + config_.preprocess_latency, config_.transfer_latency, track,
+                      obs::TraceCategory::kAccel, "transfer", pkt.id, q.dest_cpu);
+  }
 
   sim_->At(publish, [this, queue, pkt, now]() mutable {
     Queue& dst = queues_[queue];
@@ -37,7 +70,7 @@ void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
     pkt.ring_push = sim_->Now();
     residency_us_.Add(sim::ToMicros(pkt.ring_push - now));
     if (dst.ring->Push(pkt)) {
-      ++published_;
+      published_.Inc();
     }
     // Re-check the CPU state at publish: the destination CPU may have been
     // yielded to a vCPU while this packet sat in the preprocessing pipeline,

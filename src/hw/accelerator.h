@@ -13,6 +13,8 @@
 #include "src/hw/hw_probe.h"
 #include "src/hw/io_packet.h"
 #include "src/hw/ring.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
 
@@ -53,9 +55,14 @@ class Accelerator {
   // descriptor to the queue's ring.
   void Ingress(uint32_t queue, IoPacket pkt);
 
-  uint64_t packets_ingressed() const { return ingressed_; }
-  uint64_t packets_published() const { return published_; }
+  uint64_t packets_ingressed() const { return ingressed_.value(); }
+  uint64_t packets_published() const { return published_.value(); }
   uint64_t ring_drops() const;
+
+  // Pipeline-stage spans land on per-queue tracks at obs::kAccelTrackBase+q.
+  void set_tracer(obs::TraceRecorder* tracer);
+
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix = "accel") const;
 
   // Packets currently inside the preprocessing pipeline for `queue` —
   // packet metadata the §9 extension exposes to the software probe so DP
@@ -77,8 +84,9 @@ class Accelerator {
   AcceleratorConfig config_;
   std::vector<Queue> queues_;
   HwWorkloadProbe* probe_ = nullptr;
-  uint64_t ingressed_ = 0;
-  uint64_t published_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  sim::Counter ingressed_;
+  sim::Counter published_;
   sim::Summary residency_us_;
 };
 

@@ -3,12 +3,16 @@
 namespace taichi::hw {
 
 void Apic::Send(ApicId from, ApicId to, IrqVector vector) {
-  ++sent_;
+  sent_.Inc();
   sim_->Schedule(delivery_latency_, [this, from, to, vector] {
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {
-      ++dropped_;
+      dropped_.Inc();
       return;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(sim_->Now(), static_cast<int32_t>(to), obs::TraceCategory::kIrq,
+                       "irq_deliver", static_cast<uint64_t>(vector), from);
     }
     it->second(vector, from);
   });

@@ -7,7 +7,10 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulation.h"
+#include "src/sim/stats.h"
 
 namespace taichi::hw {
 
@@ -44,16 +47,26 @@ class Apic {
   // CPU), like real hardware writing to a missing LAPIC.
   void Send(ApicId from, ApicId to, IrqVector vector);
 
-  uint64_t sent_count() const { return sent_; }
-  uint64_t dropped_count() const { return dropped_; }
+  uint64_t sent_count() const { return sent_.value(); }
+  uint64_t dropped_count() const { return dropped_.value(); }
   sim::Duration delivery_latency() const { return delivery_latency_; }
+
+  // Emits an instant event on track `to` (APIC ids coincide with physical
+  // CPU ids) for every delivered interrupt.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix = "apic") const {
+    registry.AddCounter(prefix + ".sent", &sent_);
+    registry.AddCounter(prefix + ".dropped", &dropped_);
+  }
 
  private:
   sim::Simulation* sim_;
   sim::Duration delivery_latency_;
   std::unordered_map<ApicId, Handler> handlers_;
-  uint64_t sent_ = 0;
-  uint64_t dropped_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  sim::Counter sent_;
+  sim::Counter dropped_;
 };
 
 }  // namespace taichi::hw

@@ -26,12 +26,16 @@ void HwWorkloadProbe::OnPacketArrival(uint32_t cpu) {
   if (!enabled_ || states_[cpu] != CpuProbeState::kVState) {
     return;
   }
-  ++vstate_hits_;
+  vstate_hits_.Inc();
   if (irq_inflight_[cpu]) {
     return;  // Already signalled for this V-state episode.
   }
   irq_inflight_[cpu] = true;
-  ++irqs_raised_;
+  irqs_raised_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), static_cast<int32_t>(cpu), obs::TraceCategory::kProbe,
+                     "hw_probe_irq", cpu);
+  }
   TAICHI_TRACE(sim_->Now(), "hw-probe: V-state hit on dp cpu %u, raising IRQ", cpu);
   apic_->Send(kInvalidApicId, apic_ids_[cpu], IrqVector::kDpWorkload);
 }

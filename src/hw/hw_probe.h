@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/hw/apic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulation.h"
 
 namespace taichi::hw {
@@ -38,8 +40,16 @@ class HwWorkloadProbe {
   // and a later yield re-enters V-state.
   void OnPacketArrival(uint32_t cpu);
 
-  uint64_t irqs_raised() const { return irqs_raised_; }
-  uint64_t vstate_hits() const { return vstate_hits_; }
+  uint64_t irqs_raised() const { return irqs_raised_.value(); }
+  uint64_t vstate_hits() const { return vstate_hits_.value(); }
+
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "hw_probe") const {
+    registry.AddCounter(prefix + ".irqs_raised", &irqs_raised_);
+    registry.AddCounter(prefix + ".vstate_hits", &vstate_hits_);
+  }
 
  private:
   sim::Simulation* sim_;
@@ -47,9 +57,10 @@ class HwWorkloadProbe {
   std::vector<ApicId> apic_ids_;
   std::vector<CpuProbeState> states_;
   std::vector<bool> irq_inflight_;
+  obs::TraceRecorder* tracer_ = nullptr;
   bool enabled_ = true;
-  uint64_t irqs_raised_ = 0;
-  uint64_t vstate_hits_ = 0;
+  sim::Counter irqs_raised_;
+  sim::Counter vstate_hits_;
 };
 
 }  // namespace taichi::hw

@@ -1,0 +1,272 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/sim/logging.h"
+
+namespace taichi::obs {
+namespace {
+
+// Numbers in exports: plain, locale-independent, finite.
+std::string Num(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kSummary:
+      return "summary";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---- MetricsRegistry ---------------------------------------------------------
+
+void MetricsRegistry::Add(const std::string& name, Entry entry) {
+  auto [it, inserted] = metrics_.try_emplace(name, std::move(entry));
+  if (!inserted) {
+    TAICHI_ERROR(0, "metrics: duplicate registration of '%s' replaces the previous metric",
+                 name.c_str());
+    it->second = std::move(entry);
+  }
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, const sim::Counter* counter) {
+  Entry e;
+  e.kind = MetricSample::Kind::kCounter;
+  e.counter = counter;
+  Add(name, std::move(e));
+}
+
+void MetricsRegistry::AddCounterFn(const std::string& name, std::function<uint64_t()> fn) {
+  Entry e;
+  e.kind = MetricSample::Kind::kCounter;
+  e.counter_fn = std::move(fn);
+  Add(name, std::move(e));
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, std::function<double()> fn) {
+  Entry e;
+  e.kind = MetricSample::Kind::kGauge;
+  e.gauge_fn = std::move(fn);
+  Add(name, std::move(e));
+}
+
+void MetricsRegistry::AddSummary(const std::string& name, const sim::Summary* summary) {
+  Entry e;
+  e.kind = MetricSample::Kind::kSummary;
+  e.summary = summary;
+  Add(name, std::move(e));
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name, const sim::Histogram* histogram) {
+  Entry e;
+  e.kind = MetricSample::Kind::kHistogram;
+  e.histogram = histogram;
+  Add(name, std::move(e));
+}
+
+void MetricsRegistry::Remove(const std::string& name) { metrics_.erase(name); }
+
+void MetricsRegistry::RemovePrefix(const std::string& prefix) {
+  for (auto it = metrics_.lower_bound(prefix); it != metrics_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    it = metrics_.erase(it);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(sim::SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.samples.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        s.count = entry.counter != nullptr ? entry.counter->value() : entry.counter_fn();
+        break;
+      case MetricSample::Kind::kGauge:
+        s.value = entry.gauge_fn();
+        break;
+      case MetricSample::Kind::kSummary: {
+        const sim::Summary& sum = *entry.summary;
+        s.count = sum.count();
+        if (!sum.empty()) {
+          s.min = sum.min();
+          s.mean = sum.mean();
+          s.max = sum.max();
+          s.p50 = sum.Percentile(50);
+          s.p90 = sum.Percentile(90);
+          s.p99 = sum.Percentile(99);
+          s.sum = sum.sum();
+        }
+        break;
+      }
+      case MetricSample::Kind::kHistogram: {
+        const sim::Histogram& h = *entry.histogram;
+        s.count = h.total();
+        s.bins.reserve(h.bins());
+        for (size_t i = 0; i < h.bins(); ++i) {
+          s.bins.push_back({h.bin_lo(i), h.bin_hi(i), h.bin_count(i)});
+        }
+        s.underflow = h.underflow();
+        s.overflow = h.overflow();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// ---- MetricsSnapshot ---------------------------------------------------------
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"at_ns\": " + Num(static_cast<uint64_t>(at)) +
+                    ",\n  \"metrics\": {\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    out += "    \"" + JsonEscape(s.name) + "\": {\"kind\": \"";
+    out += ToString(s.kind);
+    out += "\"";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += ", \"value\": " + Num(s.count);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += ", \"value\": " + Num(s.value);
+        break;
+      case MetricSample::Kind::kSummary:
+        out += ", \"count\": " + Num(s.count) + ", \"min\": " + Num(s.min) +
+               ", \"mean\": " + Num(s.mean) + ", \"max\": " + Num(s.max) +
+               ", \"p50\": " + Num(s.p50) + ", \"p90\": " + Num(s.p90) +
+               ", \"p99\": " + Num(s.p99) + ", \"sum\": " + Num(s.sum);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += ", \"count\": " + Num(s.count) + ", \"underflow\": " + Num(s.underflow) +
+               ", \"overflow\": " + Num(s.overflow) + ", \"bins\": [";
+        for (size_t b = 0; b < s.bins.size(); ++b) {
+          out += (b == 0 ? "" : ", ");
+          out += "[" + Num(s.bins[b].lo) + ", " + Num(s.bins[b].hi) + ", " +
+                 Num(s.bins[b].count) + "]";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+    out += (i + 1 < samples.size()) ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "name,kind,count,value,min,mean,max,p50,p90,p99,sum\n";
+  for (const MetricSample& s : samples) {
+    out += s.name;
+    out += ',';
+    out += ToString(s.kind);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "," + Num(s.count) + ",,,,,,,,";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += ",," + Num(s.value) + ",,,,,,,";
+        break;
+      case MetricSample::Kind::kSummary:
+        out += "," + Num(s.count) + ",," + Num(s.min) + "," + Num(s.mean) + "," + Num(s.max) +
+               "," + Num(s.p50) + "," + Num(s.p90) + "," + Num(s.p99) + "," + Num(s.sum);
+        break;
+      case MetricSample::Kind::kHistogram:
+        // Bucket detail is a JSON-side concern; CSV keeps the total only.
+        out += "," + Num(s.count) + ",,,,,,,,";
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool MetricsSnapshot::WriteFile(const std::string& path) const {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::string body = csv ? ToCsv() : ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TAICHI_ERROR(at, "metrics: cannot open '%s' for writing", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    TAICHI_ERROR(at, "metrics: short write to '%s'", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace taichi::obs

@@ -1,0 +1,102 @@
+// Central metrics registry: every component registers its named
+// counters/gauges/summaries/histograms here, and the registry can be
+// snapshotted at any simulated time and exported as JSON or CSV.
+//
+// The registry does not own metric storage — components keep their metric
+// members (so their existing accessors stay cheap) and register *pointers*.
+// A registered pointer must stay valid until the metric is removed or the
+// registry is destroyed; in practice the registry is built next to the
+// simulation objects and snapshotted before teardown.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace taichi::obs {
+
+// One exported metric value, flattened for serialization.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter, kGauge, kSummary, kHistogram };
+
+  struct Bin {
+    double lo = 0;
+    double hi = 0;
+    uint64_t count = 0;
+  };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;  // Counter value, or sample count for summaries.
+  double value = 0;    // Gauge value.
+  // Summary statistics (valid when kind == kSummary and count > 0).
+  double min = 0, mean = 0, max = 0, p50 = 0, p90 = 0, p99 = 0, sum = 0;
+  // Histogram buckets (valid when kind == kHistogram).
+  std::vector<Bin> bins;
+  uint64_t underflow = 0, overflow = 0;
+};
+
+const char* ToString(MetricSample::Kind kind);
+
+// A point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  sim::SimTime at = 0;
+  std::vector<MetricSample> samples;  // Sorted by name.
+
+  const MetricSample* Find(const std::string& name) const;
+  std::string ToJson() const;
+  std::string ToCsv() const;
+  // Serializes to `path` in the format implied by the extension (".csv" for
+  // CSV, JSON otherwise). Returns false (and logs a TAICHI_ERROR) on failure.
+  bool WriteFile(const std::string& path) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration. Re-registering an existing name is a misuse (it usually
+  // means two components picked the same prefix); the registry logs a
+  // TAICHI_ERROR and replaces the previous entry.
+  void AddCounter(const std::string& name, const sim::Counter* counter);
+  // Derived counters (e.g. sums over sub-objects) register a callback.
+  void AddCounterFn(const std::string& name, std::function<uint64_t()> fn);
+  void AddGauge(const std::string& name, std::function<double()> fn);
+  void AddSummary(const std::string& name, const sim::Summary* summary);
+  void AddHistogram(const std::string& name, const sim::Histogram* histogram);
+
+  // Deregistration, for components that die before the registry.
+  void Remove(const std::string& name);
+  void RemovePrefix(const std::string& prefix);
+
+  bool Has(const std::string& name) const { return metrics_.contains(name); }
+  size_t size() const { return metrics_.size(); }
+
+  MetricsSnapshot Snapshot(sim::SimTime at) const;
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    const sim::Counter* counter = nullptr;
+    const sim::Summary* summary = nullptr;
+    const sim::Histogram* histogram = nullptr;
+    std::function<uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+  };
+
+  void Add(const std::string& name, Entry entry);
+
+  std::map<std::string, Entry> metrics_;  // Ordered: exports are sorted.
+};
+
+}  // namespace taichi::obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,23 @@
+// The unified observability context: one metrics registry plus one trace
+// recorder, created by whoever assembles a simulation and threaded through
+// the components (Kernel::set_tracer, TaiChi::AttachObservability,
+// Testbed::AttachObservability, per-component RegisterMetrics).
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace taichi::obs {
+
+struct Observability {
+  explicit Observability(size_t trace_capacity = TraceRecorder::kDefaultCapacity)
+      : trace(trace_capacity) {}
+
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+};
+
+}  // namespace taichi::obs
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

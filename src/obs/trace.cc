@@ -1,0 +1,192 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/sim/logging.h"
+
+namespace taichi::obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kSched:
+      return "sched";
+    case TraceCategory::kIrq:
+      return "irq";
+    case TraceCategory::kIpi:
+      return "ipi";
+    case TraceCategory::kVirt:
+      return "virt";
+    case TraceCategory::kProbe:
+      return "probe";
+    case TraceCategory::kLock:
+      return "lock";
+    case TraceCategory::kDp:
+      return "dp";
+    case TraceCategory::kAccel:
+      return "accel";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    TAICHI_ERROR(0, "trace: capacity 0 is invalid, clamping to 1");
+    capacity_ = 1;
+  }
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceRecorder::Push(char phase, sim::SimTime ts, sim::Duration dur, int32_t track,
+                         TraceCategory category, const char* name, uint64_t arg0, uint64_t arg1) {
+  TraceEvent e;
+  e.ts = ts;
+  e.dur = dur;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.track = track;
+  e.category = category;
+  e.phase = phase;
+  e.name = name;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsForTrack(int32_t track) const {
+  std::vector<TraceEvent> out;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = ring_[(next_ + i) % ring_.size()];
+    if (e.track == track) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+
+  // Metadata: process name plus one named thread lane per track. Tracks that
+  // carried events but were never named get a default lane name.
+  out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"taichi-smartnic-sim\"}}";
+  std::map<int32_t, std::string> lanes = track_names_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const int32_t t = ring_[i].track;
+    if (!lanes.contains(t)) {
+      std::snprintf(buf, sizeof(buf), t >= kAccelTrackBase ? "accel q%d" : "cpu%d",
+                    t >= kAccelTrackBase ? t - kAccelTrackBase : t);
+      lanes[t] = buf;
+    }
+  }
+  for (const auto& [track, name] : lanes) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  track, JsonEscape(name).c_str());
+    out += buf;
+    // Chrome sorts lanes by tid by default, but pin the order explicitly so
+    // accelerator queues always render below the CPUs.
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_sort_index\","
+                  "\"args\":{\"sort_index\":%d}}",
+                  track, track);
+    out += buf;
+  }
+
+  for (const TraceEvent& e : Events()) {
+    std::snprintf(buf, sizeof(buf), ",\n{\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"ts\":%.3f", e.phase,
+                  e.track, static_cast<double>(e.ts) / 1000.0);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", static_cast<double>(e.dur) / 1000.0);
+      out += buf;
+    }
+    if (e.phase != 'E') {
+      std::snprintf(buf, sizeof(buf), ",\"cat\":\"%s\",\"name\":\"%s\"", ToString(e.category),
+                    JsonEscape(e.name).c_str());
+      out += buf;
+      if (e.phase == 'i') {
+        out += ",\"s\":\"t\"";  // Instant scope: thread.
+      }
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"a0\":%llu,\"a1\":%llu}",
+                    static_cast<unsigned long long>(e.arg0),
+                    static_cast<unsigned long long>(e.arg1));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::string body = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TAICHI_ERROR(0, "trace: cannot open '%s' for writing", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    TAICHI_ERROR(0, "trace: short write to '%s'", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace taichi::obs

@@ -1,0 +1,143 @@
+// Nanosecond event tracer: a bounded ring-buffer flight recorder of
+// simulation events (context switches, IPIs, VM entries/exits, probe
+// firings, lock operations, DP poll activity, accelerator pipeline stages),
+// organized into per-CPU tracks and exportable as Chrome trace-event JSON
+// (load the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Recording is off by default. Every emit site is guarded so that a disabled
+// recorder costs exactly one predictable branch; components additionally
+// null-check their recorder pointer, so unwired components pay one branch
+// too.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace taichi::obs {
+
+// Event category, exported as the Chrome "cat" field (filterable in the UI).
+enum class TraceCategory : uint8_t {
+  kSched,  // Task scheduled in/out of a CPU.
+  kIrq,    // Interrupt and softirq activity.
+  kIpi,    // Inter-processor interrupts (send, receive, orchestrator paths).
+  kVirt,   // VM entries/exits and guest episodes.
+  kProbe,  // HW/SW workload probe firings.
+  kLock,   // Kernel spinlock acquire/contend/release.
+  kDp,     // Data-plane poll loop activity.
+  kAccel,  // Accelerator pipeline stages.
+};
+
+const char* ToString(TraceCategory category);
+
+// Tracks 0..N-1 are CPUs (physical and virtual, matching os::CpuId). Tracks
+// at kAccelTrackBase+q carry accelerator queue q's pipeline stages.
+inline constexpr int32_t kAccelTrackBase = 1000;
+
+struct TraceEvent {
+  sim::SimTime ts = 0;     // Nanoseconds of simulated time.
+  sim::Duration dur = 0;   // For complete ('X') events.
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  int32_t track = 0;
+  TraceCategory category = TraceCategory::kSched;
+  char phase = 'i';        // Chrome phase: 'B', 'E', 'X' or 'i'.
+  std::string name;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Recording gate. All emit paths reduce to one branch while disabled.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // --- Emission (callers pass the current simulated time) ---
+
+  // A point event ("ph":"i").
+  void Instant(sim::SimTime now, int32_t track, TraceCategory category, const char* name,
+               uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    if (!enabled_) {
+      return;
+    }
+    Push('i', now, 0, track, category, name, arg0, arg1);
+  }
+
+  // A duration-begin event ("ph":"B"); pair with End on the same track.
+  void Begin(sim::SimTime now, int32_t track, TraceCategory category, const char* name,
+             uint64_t arg0 = 0) {
+    if (!enabled_) {
+      return;
+    }
+    Push('B', now, 0, track, category, name, arg0, 0);
+  }
+
+  void End(sim::SimTime now, int32_t track) {
+    if (!enabled_) {
+      return;
+    }
+    Push('E', now, 0, track, TraceCategory::kSched, "", 0, 0);
+  }
+
+  // A complete event ("ph":"X") spanning [start, start+dur).
+  void Complete(sim::SimTime start, sim::Duration dur, int32_t track, TraceCategory category,
+                const char* name, uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    if (!enabled_) {
+      return;
+    }
+    Push('X', start, dur, track, category, name, arg0, arg1);
+  }
+
+  // --- Track metadata ---
+
+  // Names the Chrome thread lane for `track` (e.g. "pCPU 3 (DP)").
+  void SetTrackName(int32_t track, std::string name) { track_names_[track] = std::move(name); }
+  const std::map<int32_t, std::string>& track_names() const { return track_names_; }
+
+  // --- Inspection ---
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return ring_.size(); }
+  // Total events ever emitted; total_emitted() - size() were overwritten.
+  uint64_t total_emitted() const { return total_; }
+  uint64_t overwritten() const { return total_ - ring_.size(); }
+
+  // Buffered events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  // Events buffered for one track, oldest first.
+  std::vector<TraceEvent> EventsForTrack(int32_t track) const;
+
+  void Clear();
+
+  // --- Export ---
+
+  // Chrome trace-event JSON object ({"traceEvents": [...]}); timestamps are
+  // exported in microseconds with nanosecond precision.
+  std::string ToChromeJson() const;
+  // Returns false (and logs a TAICHI_ERROR) if the file cannot be written.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  void Push(char phase, sim::SimTime ts, sim::Duration dur, int32_t track,
+            TraceCategory category, const char* name, uint64_t arg0, uint64_t arg1);
+
+  size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;      // Overwrite cursor once the ring is full.
+  uint64_t total_ = 0;
+  std::map<int32_t, std::string> track_names_;
+};
+
+}  // namespace taichi::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -60,6 +60,9 @@ CpuId Kernel::RegisterCpu(CpuKind kind, hw::ApicId apic_id) {
   c->kind = kind;
   CpuId id = c->id;
   cpus_.push_back(std::move(c));
+  if (tracer_ != nullptr) {
+    tracer_->SetTrackName(id, (kind == CpuKind::kVirtual ? "vcpu" : "cpu") + std::to_string(id));
+  }
   if (kind == CpuKind::kPhysical) {
     machine_->apic().RegisterHandler(
         apic_id, [this, id](hw::IrqVector vector, hw::ApicId from) {
@@ -67,6 +70,26 @@ CpuId Kernel::RegisterCpu(CpuKind kind, hw::ApicId apic_id) {
         });
   }
   return id;
+}
+
+void Kernel::set_tracer(obs::TraceRecorder* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  for (const auto& c : cpus_) {
+    tracer_->SetTrackName(
+        c->id, (c->kind == CpuKind::kVirtual ? "vcpu" : "cpu") + std::to_string(c->id));
+  }
+}
+
+void Kernel::RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
+  registry.AddCounter(prefix + ".context_switches", &context_switches_);
+  registry.AddCounter(prefix + ".guest_entries", &guest_entries_);
+  registry.AddCounter(prefix + ".guest_exits", &guest_exits_);
+  registry.AddCounter(prefix + ".ipis_sent", &ipis_sent_);
+  registry.AddCounter(prefix + ".softirqs_run", &softirqs_run_);
+  registry.AddCounter(prefix + ".steals", &steals_);
 }
 
 void Kernel::OnlineCpu(CpuId id) {
@@ -176,6 +199,9 @@ void Kernel::SetTaskAffinity(Task* t, CpuSet affinity) {
         FreezeSegment(c);
         t->state_ = TaskState::kRunnable;
         c.current = nullptr;
+        if (tracer_ != nullptr) {
+          tracer_->End(sim_->Now(), old_cpu);
+        }
         EnqueueAndKick(t, kInvalidCpu);
         StartNext(old_cpu);
       } else {
@@ -273,7 +299,11 @@ void Kernel::EnqueueAndKick(Task* t, CpuId from) {
 // ---- IPIs ------------------------------------------------------------------
 
 void Kernel::SendIpi(CpuId from, CpuId to, IpiType type) {
-  ++ipis_sent_;
+  ipis_sent_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), from == kInvalidCpu ? to : from, obs::TraceCategory::kIpi,
+                     "ipi_send", static_cast<uint64_t>(to), static_cast<uint64_t>(type));
+  }
   if (router_ != nullptr) {
     router_->Route(from, to, type);
   } else {
@@ -296,6 +326,10 @@ void Kernel::RouteDefault(CpuId from, CpuId to, IpiType type) {
 
 void Kernel::HandleIpiAt(CpuId id, IpiType type) {
   OsCpu& c = cpu(id);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kIpi, "ipi_recv",
+                     static_cast<uint64_t>(type));
+  }
   switch (type) {
     case IpiType::kBoot:
       if (!c.online) {
@@ -333,6 +367,10 @@ void Kernel::HandleIpiAt(CpuId id, IpiType type) {
 
 void Kernel::OnHwInterrupt(CpuId id, hw::IrqVector vector, hw::ApicId /*from*/) {
   OsCpu& c = cpu(id);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kIrq, "irq",
+                     static_cast<uint64_t>(vector));
+  }
   if (!c.online) {
     if (vector == hw::IrqVector::kBoot) {
       sim_->Schedule(config_.boot_cost, [this, id] { MarkCpuOnline(id); });
@@ -395,7 +433,11 @@ void Kernel::TryRunSoftirqs(CpuId id) {
   while (c.pending_softirqs != 0) {
     int nr = __builtin_ctz(c.pending_softirqs);
     c.pending_softirqs &= ~(1u << nr);
-    ++softirqs_run_;
+    softirqs_run_.Inc();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kIrq, "softirq",
+                       static_cast<uint64_t>(nr));
+    }
     if (softirq_handlers_[nr]) {
       softirq_handlers_[nr](id);
     }
@@ -486,7 +528,7 @@ bool Kernel::TrySteal(CpuId id) {
         Task* t = *it;
         d.rq[p].erase(it);
         EnqueueTask(t, id);
-        ++steals_;
+        steals_.Inc();
         return true;
       }
     }
@@ -517,7 +559,10 @@ void Kernel::StartNext(CpuId id) {
   t->state_ = TaskState::kRunning;
   t->cpu_ = id;
   t->ran_in_slice_ = 0;
-  ++context_switches_;
+  context_switches_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Begin(sim_->Now(), id, obs::TraceCategory::kSched, t->name().c_str(), t->id());
+  }
   c.pending_switch_cost = config_.context_switch_cost;
   StartTick(id);
   t->behavior().OnScheduledIn(*this, *t);
@@ -532,6 +577,9 @@ void Kernel::RequeueCurrent(CpuId id) {
   FreezeSegment(c);
   t->state_ = TaskState::kRunnable;
   c.current = nullptr;
+  if (tracer_ != nullptr) {
+    tracer_->End(sim_->Now(), id);
+  }
   if (!t->affinity().Test(id)) {
     // Affinity changed while running here: migrate to a legal CPU.
     EnqueueAndKick(t, kInvalidCpu);
@@ -710,6 +758,9 @@ void Kernel::ExecuteCurrent(CpuId id) {
       sleeper->state_ = TaskState::kSleeping;
       Account(c);
       c.current = nullptr;
+      if (tracer_ != nullptr) {
+        tracer_->End(sim_->Now(), id);
+      }
       sim_->Schedule(a.duration, [this, sleeper] {
         if (sleeper->state_ == TaskState::kSleeping) {
           Wake(sleeper);
@@ -725,6 +776,9 @@ void Kernel::ExecuteCurrent(CpuId id) {
       t->state_ = TaskState::kBlocked;
       Account(c);
       c.current = nullptr;
+      if (tracer_ != nullptr) {
+        tracer_->End(sim_->Now(), id);
+      }
       StartNext(id);
       return;
     case Action::Type::kYield:
@@ -783,6 +837,9 @@ void Kernel::TaskExited(CpuId id) {
   assert(t->non_preempt_depth_ == 0 && "task exited inside a kernel section");
   Account(c);
   c.current = nullptr;
+  if (tracer_ != nullptr) {
+    tracer_->End(sim_->Now(), id);
+  }
   if (task_exit_handler_) {
     task_exit_handler_(*t);
   }
@@ -838,8 +895,11 @@ void Kernel::BeginLockAcquire(CpuId id, Task* t, KernelSpinlock* lock) {
   if (lock->holder_ == nullptr) {
     lock->holder_ = t;
     lock->held_since_ = sim_->Now();
-    ++lock->acquisitions_;
+    lock->acquisitions_.Inc();
     ++t->locks_held_;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kLock, "lock_acquire", t->id());
+    }
     // The acquire cost runs as a timed segment.
     c.seg_start = sim_->Now();
     c.seg_event = sim_->Schedule(t->remaining_, [this, id] {
@@ -848,7 +908,10 @@ void Kernel::BeginLockAcquire(CpuId id, Task* t, KernelSpinlock* lock) {
     });
     return;
   }
-  ++lock->contentions_;
+  lock->contentions_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kLock, "lock_contend", t->id());
+  }
   t->spinning_ = true;
   t->waiting_lock_ = lock;
   t->spin_since_ = sim_->Now();
@@ -863,8 +926,11 @@ void Kernel::FinishLockAcquire(Task* t, KernelSpinlock* lock) {
   t->lock_spin_time_ += sim_->Now() - t->spin_since_;
   lock->holder_ = t;
   lock->held_since_ = sim_->Now();
-  ++lock->acquisitions_;
+  lock->acquisitions_.Inc();
   ++t->locks_held_;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), t->cpu_, obs::TraceCategory::kLock, "lock_acquire", t->id());
+  }
   // Finish the acquire action; if the waiter's CPU is currently executing it,
   // schedule the residual acquire cost, otherwise leave it pending for
   // ResumeSegment.
@@ -880,9 +946,12 @@ void Kernel::FinishLockAcquire(Task* t, KernelSpinlock* lock) {
   }
 }
 
-void Kernel::BeginLockRelease(CpuId /*id*/, Task* t, KernelSpinlock* lock) {
+void Kernel::BeginLockRelease(CpuId id, Task* t, KernelSpinlock* lock) {
   assert(lock != nullptr && lock->holder_ == t);
   lock->hold_time_us_.Add(sim::ToMicros(sim_->Now() - lock->held_since_));
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), id, obs::TraceCategory::kLock, "lock_release", t->id());
+  }
   lock->holder_ = nullptr;
   --t->locks_held_;
   NonPreemptExit(t);
@@ -919,7 +988,15 @@ void Kernel::EnterGuest(CpuId pcpu, CpuId vcpu) {
   FreezeSegment(p);
   StopTick(pcpu);
   p.mode = CpuMode::kTransition;
-  ++guest_entries_;
+  guest_entries_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->Now(), pcpu, obs::TraceCategory::kVirt, "vm_entry",
+                     static_cast<uint64_t>(vcpu));
+    // The guest span on the pCPU track covers entry transition + guest
+    // execution + exit transition; it closes in ExitGuest's completion.
+    tracer_->Begin(sim_->Now(), pcpu, obs::TraceCategory::kVirt, "guest",
+                   static_cast<uint64_t>(vcpu));
+  }
   sim_->Schedule(config_.guest.entry_cost, [this, pcpu, vcpu] {
     OsCpu& pc = cpu(pcpu);
     OsCpu& vc = cpu(vcpu);
@@ -931,6 +1008,12 @@ void Kernel::EnterGuest(CpuId pcpu, CpuId vcpu) {
     vc.last_account = sim_->Now();
     // Posted interrupts pended while the vCPU slept take effect now.
     vc.pending_ipis.clear();
+    if (tracer_ != nullptr && vc.current != nullptr) {
+      // Re-open the frozen task's span on the vCPU track for this backed
+      // episode (ExitGuest closed it when the episode ended).
+      tracer_->Begin(sim_->Now(), vcpu, obs::TraceCategory::kSched, vc.current->name().c_str(),
+                     vc.current->id());
+    }
     if (!pc.pending_irqs.empty()) {
       // An interrupt raced the entry: exit immediately.
       hw::IrqVector vec = pc.pending_irqs.front();
@@ -953,6 +1036,13 @@ void Kernel::ExitGuest(CpuId pcpu, GuestExitReason reason, hw::IrqVector vector)
   OsCpu& v = cpu(vcpu);
   Account(p);
   Account(v);
+  if (tracer_ != nullptr) {
+    if (v.current != nullptr) {
+      tracer_->End(sim_->Now(), vcpu);  // Close this backed episode's span.
+    }
+    tracer_->Instant(sim_->Now(), pcpu, obs::TraceCategory::kVirt, "vm_exit",
+                     static_cast<uint64_t>(reason), static_cast<uint64_t>(vector));
+  }
   FreezeSegment(v);
   (void)v;
   StopTick(vcpu);
@@ -960,12 +1050,15 @@ void Kernel::ExitGuest(CpuId pcpu, GuestExitReason reason, hw::IrqVector vector)
   v.backer = kInvalidCpu;
   p.guest = kInvalidCpu;
   p.mode = CpuMode::kTransition;
-  ++guest_exits_;
+  guest_exits_.Inc();
   GuestExitInfo info{reason, vector};
   sim_->Schedule(config_.guest.exit_cost, [this, pcpu, vcpu, info] {
     OsCpu& pc = cpu(pcpu);
     Account(pc);
     pc.mode = CpuMode::kHost;
+    if (tracer_ != nullptr) {
+      tracer_->End(sim_->Now(), pcpu);  // Close the guest span.
+    }
     // Pending interrupts become deferred rescheduling intents; the resume
     // path honours them.
     for (hw::IrqVector vec : pc.pending_irqs) {

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "src/hw/machine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/spinlock.h"
 #include "src/os/task.h"
 #include "src/os/types.h"
@@ -190,12 +192,20 @@ class Kernel {
   using TaskExitHandler = std::function<void(Task&)>;
   void set_task_exit_handler(TaskExitHandler h) { task_exit_handler_ = std::move(h); }
 
-  uint64_t context_switches() const { return context_switches_; }
-  uint64_t guest_entries() const { return guest_entries_; }
-  uint64_t guest_exits() const { return guest_exits_; }
-  uint64_t ipis_sent() const { return ipis_sent_; }
-  uint64_t softirqs_run() const { return softirqs_run_; }
-  uint64_t steals() const { return steals_; }
+  uint64_t context_switches() const { return context_switches_.value(); }
+  uint64_t guest_entries() const { return guest_entries_.value(); }
+  uint64_t guest_exits() const { return guest_exits_.value(); }
+  uint64_t ipis_sent() const { return ipis_sent_.value(); }
+  uint64_t softirqs_run() const { return softirqs_run_.value(); }
+  uint64_t steals() const { return steals_.value(); }
+
+  // Attaches a trace recorder (nullptr detaches). Every known CPU gets a
+  // default track name ("cpuN"/"vcpuN"); callers can rename tracks after.
+  void set_tracer(obs::TraceRecorder* tracer);
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
+  // Registers the kernel's counters as "<prefix>.*".
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix = "kernel") const;
 
  private:
   enum class CpuMode : uint8_t { kHost, kGuest, kTransition };
@@ -292,13 +302,15 @@ class Kernel {
   ActionTracer action_tracer_;
   TaskExitHandler task_exit_handler_;
 
+  obs::TraceRecorder* tracer_ = nullptr;
+
   TaskId next_task_id_ = 1;
-  uint64_t context_switches_ = 0;
-  uint64_t guest_entries_ = 0;
-  uint64_t guest_exits_ = 0;
-  uint64_t ipis_sent_ = 0;
-  uint64_t softirqs_run_ = 0;
-  uint64_t steals_ = 0;
+  sim::Counter context_switches_;
+  sim::Counter guest_entries_;
+  sim::Counter guest_exits_;
+  sim::Counter ipis_sent_;
+  sim::Counter softirqs_run_;
+  sim::Counter steals_;
 };
 
 }  // namespace taichi::os

@@ -7,6 +7,7 @@
 #include <deque>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -25,9 +26,17 @@ class KernelSpinlock {
   bool held() const { return holder_ != nullptr; }
   size_t waiter_count() const { return waiters_.size(); }
 
-  uint64_t acquisitions() const { return acquisitions_; }
-  uint64_t contentions() const { return contentions_; }
+  uint64_t acquisitions() const { return acquisitions_.value(); }
+  uint64_t contentions() const { return contentions_.value(); }
   const sim::Summary& hold_time_us() const { return hold_time_us_; }
+
+  // Registers this lock's metrics as "lock.<name>.*".
+  void RegisterMetrics(obs::MetricsRegistry& registry) const {
+    const std::string prefix = "lock." + name_;
+    registry.AddCounter(prefix + ".acquisitions", &acquisitions_);
+    registry.AddCounter(prefix + ".contentions", &contentions_);
+    registry.AddSummary(prefix + ".hold_time_us", &hold_time_us_);
+  }
 
  private:
   friend class Kernel;
@@ -36,8 +45,8 @@ class KernelSpinlock {
   Task* holder_ = nullptr;
   std::deque<Task*> waiters_;  // FIFO hand-off among spinning tasks.
   sim::SimTime held_since_ = 0;
-  uint64_t acquisitions_ = 0;
-  uint64_t contentions_ = 0;
+  sim::Counter acquisitions_;
+  sim::Counter contentions_;
   sim::Summary hold_time_us_;
 };
 

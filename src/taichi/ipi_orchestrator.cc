@@ -5,7 +5,7 @@
 namespace taichi::core {
 
 void IpiOrchestrator::Route(os::CpuId from, os::CpuId to, os::IpiType type) {
-  ++routed_;
+  routed_.Inc();
   // Source phase (Fig. 8b): an IPI emitted from code running in a vCPU
   // context cannot reach the LAPIC directly; trigger a VM-exit and let the
   // vCPU scheduler reissue it.
@@ -14,7 +14,11 @@ void IpiOrchestrator::Route(os::CpuId from, os::CpuId to, os::IpiType type) {
     auto& pending = pending_reissue_[from];
     pending.push_back({to, type});
     if (pending.size() == 1) {
-      ++vcpu_source_exits_;
+      vcpu_source_exits_.Inc();
+      if (tracer_ != nullptr) {
+        tracer_->Instant(kernel_->sim().Now(), from, obs::TraceCategory::kIpi, "ipi_src_exit",
+                         static_cast<uint64_t>(to), static_cast<uint64_t>(type));
+      }
       os::CpuId backer = kernel_->backer_of(from);
       kernel_->ExitGuest(backer, os::GuestExitReason::kIpiSend);
     }
@@ -47,14 +51,22 @@ void IpiOrchestrator::Deliver(os::CpuId from, os::CpuId to, os::IpiType type) {
   }
   if (kernel_->cpu_backed(to)) {
     // Running/backed vCPU: inject directly (posted interrupt).
-    ++posted_injections_;
+    posted_injections_.Inc();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(kernel_->sim().Now(), to, obs::TraceCategory::kIpi, "ipi_posted",
+                       static_cast<uint64_t>(type));
+    }
     kernel_->sim().Schedule(kernel_->machine().apic().delivery_latency(),
                             [this, to, type] { kernel_->HandleIpiAt(to, type); });
     return;
   }
   // Sleeping or runnable-but-unplaced vCPU: pend the interrupt and wake the
   // vCPU through the scheduler.
-  ++sleeping_vcpu_wakes_;
+  sleeping_vcpu_wakes_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(kernel_->sim().Now(), to, obs::TraceCategory::kIpi, "ipi_wake_vcpu",
+                     static_cast<uint64_t>(type));
+  }
   kernel_->HandleIpiAt(to, type);
   if (scheduler_ != nullptr) {
     scheduler_->OnVcpuKicked(to);

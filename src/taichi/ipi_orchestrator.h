@@ -41,10 +41,19 @@ class IpiOrchestrator : public os::IpiRouter {
   void FlushPendingFrom(os::CpuId vcpu);
   bool HasPendingFrom(os::CpuId vcpu) const { return pending_reissue_.contains(vcpu); }
 
-  uint64_t routed() const { return routed_; }
-  uint64_t vcpu_source_exits() const { return vcpu_source_exits_; }
-  uint64_t posted_injections() const { return posted_injections_; }
-  uint64_t sleeping_vcpu_wakes() const { return sleeping_vcpu_wakes_; }
+  uint64_t routed() const { return routed_.value(); }
+  uint64_t vcpu_source_exits() const { return vcpu_source_exits_.value(); }
+  uint64_t posted_injections() const { return posted_injections_.value(); }
+  uint64_t sleeping_vcpu_wakes() const { return sleeping_vcpu_wakes_.value(); }
+
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix = "ipi") const {
+    registry.AddCounter(prefix + ".routed", &routed_);
+    registry.AddCounter(prefix + ".vcpu_source_exits", &vcpu_source_exits_);
+    registry.AddCounter(prefix + ".posted_injections", &posted_injections_);
+    registry.AddCounter(prefix + ".sleeping_vcpu_wakes", &sleeping_vcpu_wakes_);
+  }
 
  private:
   struct PendingIpi {
@@ -56,11 +65,12 @@ class IpiOrchestrator : public os::IpiRouter {
 
   os::Kernel* kernel_;
   VcpuScheduler* scheduler_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
   std::unordered_map<os::CpuId, std::deque<PendingIpi>> pending_reissue_;
-  uint64_t routed_ = 0;
-  uint64_t vcpu_source_exits_ = 0;
-  uint64_t posted_injections_ = 0;
-  uint64_t sleeping_vcpu_wakes_ = 0;
+  sim::Counter routed_;
+  sim::Counter vcpu_source_exits_;
+  sim::Counter posted_injections_;
+  sim::Counter sleeping_vcpu_wakes_;
 };
 
 }  // namespace taichi::core

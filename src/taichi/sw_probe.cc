@@ -15,7 +15,11 @@ void SwWorkloadProbe::RegisterDpService(os::CpuId dp_cpu, std::function<bool()> 
 }
 
 void SwWorkloadProbe::NotifyIdleDpCpuCycles(os::CpuId dp_cpu) {
-  ++notifications_;
+  notifications_.Inc();
+  if (tracer_ != nullptr && sim_ != nullptr) {
+    tracer_->Instant(sim_->Now(), dp_cpu, obs::TraceCategory::kProbe, "sw_probe_notify",
+                     yield_threshold(dp_cpu));
+  }
   if (scheduler_ != nullptr) {
     scheduler_->OnDpIdle(dp_cpu);
   }
@@ -27,7 +31,7 @@ uint32_t SwWorkloadProbe::yield_threshold(os::CpuId dp_cpu) const {
 }
 
 void SwWorkloadProbe::OnSustainedIdle(os::CpuId dp_cpu) {
-  ++sustained_idles_;
+  sustained_idles_.Inc();
   if (!config_.adaptive_yield_threshold) {
     return;
   }
@@ -38,7 +42,7 @@ void SwWorkloadProbe::OnSustainedIdle(os::CpuId dp_cpu) {
 }
 
 void SwWorkloadProbe::OnFalsePositive(os::CpuId dp_cpu) {
-  ++false_positives_;
+  false_positives_.Inc();
   if (!config_.adaptive_yield_threshold) {
     return;
   }

@@ -9,7 +9,10 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/types.h"
+#include "src/sim/simulation.h"
 #include "src/taichi/config.h"
 
 namespace taichi::core {
@@ -42,9 +45,23 @@ class SwWorkloadProbe {
   bool IsDpIdle(os::CpuId dp_cpu) const;
   bool HasDpService(os::CpuId dp_cpu) const { return services_.contains(dp_cpu); }
 
-  uint64_t notifications() const { return notifications_; }
-  uint64_t false_positives() const { return false_positives_; }
-  uint64_t sustained_idles() const { return sustained_idles_; }
+  uint64_t notifications() const { return notifications_.value(); }
+  uint64_t false_positives() const { return false_positives_.value(); }
+  uint64_t sustained_idles() const { return sustained_idles_.value(); }
+
+  // The probe has no simulation handle of its own, so the tracer setter
+  // takes one for event timestamps.
+  void set_tracer(obs::TraceRecorder* tracer, sim::Simulation* sim) {
+    tracer_ = tracer;
+    sim_ = sim;
+  }
+
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "sw_probe") const {
+    registry.AddCounter(prefix + ".notifications", &notifications_);
+    registry.AddCounter(prefix + ".false_positives", &false_positives_);
+    registry.AddCounter(prefix + ".sustained_idles", &sustained_idles_);
+  }
 
  private:
   struct ServiceState {
@@ -54,10 +71,12 @@ class SwWorkloadProbe {
 
   const TaiChiConfig& config_;
   VcpuScheduler* scheduler_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
   std::unordered_map<os::CpuId, ServiceState> services_;
-  uint64_t notifications_ = 0;
-  uint64_t false_positives_ = 0;
-  uint64_t sustained_idles_ = 0;
+  sim::Counter notifications_;
+  sim::Counter false_positives_;
+  sim::Counter sustained_idles_;
 };
 
 }  // namespace taichi::core

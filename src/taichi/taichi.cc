@@ -23,6 +23,19 @@ TaiChi::TaiChi(os::Kernel* kernel, TaiChiConfig config)
   pool_->OnlineAll();
 }
 
+void TaiChi::AttachObservability(obs::Observability* obs) {
+  obs::TraceRecorder* tracer = obs != nullptr ? &obs->trace : nullptr;
+  scheduler_->set_tracer(tracer);
+  orchestrator_->set_tracer(tracer);
+  sw_probe_->set_tracer(tracer, &kernel_->sim());
+  mux_->set_tracer(tracer);
+  if (obs != nullptr) {
+    scheduler_->RegisterMetrics(obs->metrics);
+    orchestrator_->RegisterMetrics(obs->metrics);
+    sw_probe_->RegisterMetrics(obs->metrics);
+  }
+}
+
 TaiChi::~TaiChi() {
   kernel_->machine().accelerator().set_probe(nullptr);
   kernel_->set_guest_exit_handler(nullptr);

@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "src/obs/observability.h"
 #include "src/os/kernel.h"
 #include "src/taichi/config.h"
 #include "src/taichi/ipi_orchestrator.h"
@@ -48,6 +49,11 @@ class TaiChi {
   // the dedicated CP pCPUs (§5: standard cgroup/affinity configuration).
   os::CpuSet cp_task_cpus() const { return pool_->cpu_set() | config_.cp_cpus; }
   os::CpuSet vcpu_set() const { return pool_->cpu_set(); }
+
+  // Wires the four core components (scheduler, orchestrator, SW probe, exit
+  // mux) into `obs`. The kernel/machine side is wired by whoever owns them
+  // (exp::Testbed does both), so metrics register exactly once.
+  void AttachObservability(obs::Observability* obs);
 
  private:
   os::Kernel* kernel_;

@@ -151,7 +151,11 @@ void VcpuScheduler::DoSwitch(os::CpuId pcpu) {
 }
 
 void VcpuScheduler::Enter(os::CpuId pcpu, os::CpuId vcpu, sim::Duration slice) {
-  ++switches_;
+  switches_.Inc();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(kernel_->sim().Now(), pcpu, obs::TraceCategory::kVirt, "vcpu_place",
+                     static_cast<uint64_t>(vcpu), static_cast<uint64_t>(slice));
+  }
   VcpuRecord& vr = vcpus_.at(vcpu);
   vr.state = VcpuState::kRunning;
   PcpuRecord& pr = pcpus_.at(pcpu);
@@ -225,7 +229,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
 
   switch (info.reason) {
     case os::GuestExitReason::kPreemptionTimer: {
-      ++slice_expirations_;
+      slice_expirations_.Inc();
       // Sustained DP idleness: grow the slice and lower the yield threshold.
       if (config_.adaptive_slice) {
         pr.slice = std::min(pr.slice * 2, config_.max_slice);
@@ -245,7 +249,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
       return;
     }
     case os::GuestExitReason::kHalt: {
-      ++halts_;
+      halts_.Inc();
       requeue_or_sleep();
       os::CpuId next = os::kInvalidCpu;
       if (!IsDpCpu(pcpu) || !sw_probe_->HasDpService(pcpu) || sw_probe_->IsDpIdle(pcpu)) {
@@ -260,7 +264,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
     }
     case os::GuestExitReason::kExternalInterrupt: {
       if (info.vector == hw::IrqVector::kDpWorkload) {
-        ++probe_preemptions_;
+        probe_preemptions_.Inc();
         if (config_.adaptive_slice) {
           pr.slice = config_.initial_slice;
         }
@@ -324,7 +328,7 @@ void VcpuScheduler::RescueLockedVcpu(os::CpuId vcpu, os::CpuId exclude_pcpu) {
     }
     return;
   }
-  ++lock_rescues_;
+  lock_rescues_.Inc();
   // First choice: an idle DP pCPU (probability of none free is ~P^N, §4.1).
   for (os::CpuId cpu = 0; cpu < kernel_->num_cpus(); ++cpu) {
     if (!IsDpCpu(cpu) || cpu == exclude_pcpu) {

@@ -49,12 +49,23 @@ class VcpuScheduler : public virt::GuestController {
   enum class VcpuState : uint8_t { kSleeping, kRunnable, kRunning };
   VcpuState vcpu_state(os::CpuId vcpu) const { return vcpus_.at(vcpu).state; }
   sim::Duration current_slice(os::CpuId pcpu) const;
-  uint64_t switches() const { return switches_; }
-  uint64_t probe_preemptions() const { return probe_preemptions_; }
-  uint64_t slice_expirations() const { return slice_expirations_; }
-  uint64_t halts() const { return halts_; }
-  uint64_t lock_rescues() const { return lock_rescues_; }
+  uint64_t switches() const { return switches_.value(); }
+  uint64_t probe_preemptions() const { return probe_preemptions_.value(); }
+  uint64_t slice_expirations() const { return slice_expirations_.value(); }
+  uint64_t halts() const { return halts_.value(); }
+  uint64_t lock_rescues() const { return lock_rescues_.value(); }
   const sim::Summary& guest_episode_us() const { return guest_episode_us_; }
+
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix = "sched") const {
+    registry.AddCounter(prefix + ".switches", &switches_);
+    registry.AddCounter(prefix + ".probe_preemptions", &probe_preemptions_);
+    registry.AddCounter(prefix + ".slice_expirations", &slice_expirations_);
+    registry.AddCounter(prefix + ".halts", &halts_);
+    registry.AddCounter(prefix + ".lock_rescues", &lock_rescues_);
+    registry.AddSummary(prefix + ".guest_episode_us", &guest_episode_us_);
+  }
 
  private:
   struct VcpuRecord {
@@ -87,6 +98,7 @@ class VcpuScheduler : public virt::GuestController {
   SwWorkloadProbe* sw_probe_;
   hw::HwWorkloadProbe* hw_probe_;
   IpiOrchestrator* orchestrator_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
   TaiChiConfig config_;
 
   std::unordered_map<os::CpuId, VcpuRecord> vcpus_;
@@ -94,11 +106,11 @@ class VcpuScheduler : public virt::GuestController {
   std::deque<os::CpuId> runnable_;  // Round-robin queue of runnable vCPUs.
   size_t rescue_rr_ = 0;            // Round-robin cursor over CP pCPUs.
 
-  uint64_t switches_ = 0;
-  uint64_t probe_preemptions_ = 0;
-  uint64_t slice_expirations_ = 0;
-  uint64_t halts_ = 0;
-  uint64_t lock_rescues_ = 0;
+  sim::Counter switches_;
+  sim::Counter probe_preemptions_;
+  sim::Counter slice_expirations_;
+  sim::Counter halts_;
+  sim::Counter lock_rescues_;
   sim::Summary guest_episode_us_;
 };
 

@@ -7,6 +7,10 @@ namespace taichi::virt {
 GuestExitMux::GuestExitMux(os::Kernel* kernel) : kernel_(kernel) {
   kernel_->set_guest_exit_handler(
       [this](os::CpuId pcpu, os::CpuId vcpu, const os::GuestExitInfo& info) {
+        if (tracer_ != nullptr) {
+          tracer_->Instant(kernel_->sim().Now(), pcpu, obs::TraceCategory::kVirt, "guest_exit",
+                           static_cast<uint64_t>(vcpu), static_cast<uint64_t>(info.reason));
+        }
         auto it = controllers_.find(vcpu);
         if (it == controllers_.end()) {
           kernel_->ResumeHost(pcpu);

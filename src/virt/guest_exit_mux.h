@@ -28,8 +28,12 @@ class GuestExitMux {
   void Register(os::CpuId vcpu, GuestController* controller);
   void Unregister(os::CpuId vcpu);
 
+  // Emits a "guest_exit" dispatch instant per routed exit.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   os::Kernel* kernel_;
+  obs::TraceRecorder* tracer_ = nullptr;
   std::unordered_map<os::CpuId, GuestController*> controllers_;
 };
 

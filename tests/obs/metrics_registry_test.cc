@@ -1,0 +1,190 @@
+// MetricsRegistry: registration, snapshotting and JSON/CSV export.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace taichi::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SnapshotReflectsLiveMetrics) {
+  sim::Counter packets;
+  sim::Summary latency;
+  double load = 0.25;
+
+  MetricsRegistry registry;
+  registry.AddCounter("dp.packets", &packets);
+  registry.AddSummary("dp.latency_us", &latency);
+  registry.AddGauge("dp.load", [&load] { return load; });
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_TRUE(registry.Has("dp.packets"));
+  EXPECT_FALSE(registry.Has("dp.bytes"));
+
+  packets.Inc(7);
+  latency.Add(10.0);
+  latency.Add(30.0);
+
+  MetricsSnapshot snap = registry.Snapshot(sim::Micros(5));
+  EXPECT_EQ(snap.at, sim::Micros(5));
+  ASSERT_EQ(snap.samples.size(), 3u);
+
+  const MetricSample* c = snap.Find("dp.packets");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(c->count, 7u);
+
+  const MetricSample* s = snap.Find("dp.latency_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricSample::Kind::kSummary);
+  EXPECT_EQ(s->count, 2u);
+  EXPECT_DOUBLE_EQ(s->min, 10.0);
+  EXPECT_DOUBLE_EQ(s->max, 30.0);
+  EXPECT_DOUBLE_EQ(s->mean, 20.0);
+
+  const MetricSample* g = snap.Find("dp.load");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricSample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(g->value, 0.25);
+
+  // The snapshot is a copy: later mutation does not affect it, but a new
+  // snapshot sees the fresh values.
+  packets.Inc(3);
+  EXPECT_EQ(snap.Find("dp.packets")->count, 7u);
+  EXPECT_EQ(registry.Snapshot(0).Find("dp.packets")->count, 10u);
+}
+
+TEST(MetricsRegistryTest, CounterFnAndHistogram) {
+  sim::Counter a, b;
+  a.Inc(2);
+  b.Inc(5);
+  sim::Histogram hist(0.0, 100.0, 4);
+  hist.Add(10.0);   // bin 0.
+  hist.Add(60.0);   // bin 2.
+  hist.Add(-1.0);   // underflow.
+  hist.Add(500.0);  // overflow.
+
+  MetricsRegistry registry;
+  registry.AddCounterFn("total", [&] { return a.value() + b.value(); });
+  registry.AddHistogram("hist", &hist);
+
+  MetricsSnapshot snap = registry.Snapshot(0);
+  EXPECT_EQ(snap.Find("total")->count, 7u);
+
+  const MetricSample* h = snap.Find("hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricSample::Kind::kHistogram);
+  ASSERT_EQ(h->bins.size(), 4u);
+  EXPECT_EQ(h->bins[0].count, 1u);
+  EXPECT_EQ(h->bins[2].count, 1u);
+  EXPECT_DOUBLE_EQ(h->bins[2].lo, 50.0);
+  EXPECT_DOUBLE_EQ(h->bins[2].hi, 75.0);
+  EXPECT_EQ(h->underflow, 1u);
+  EXPECT_EQ(h->overflow, 1u);
+}
+
+TEST(MetricsRegistryTest, RemoveAndRemovePrefix) {
+  sim::Counter c;
+  MetricsRegistry registry;
+  registry.AddCounter("a.x", &c);
+  registry.AddCounter("a.y", &c);
+  registry.AddCounter("b.x", &c);
+
+  registry.Remove("a.x");
+  EXPECT_FALSE(registry.Has("a.x"));
+  EXPECT_EQ(registry.size(), 2u);
+
+  registry.RemovePrefix("a.");
+  EXPECT_FALSE(registry.Has("a.y"));
+  EXPECT_TRUE(registry.Has("b.x"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DuplicateRegistrationReplaces) {
+  sim::Counter first, second;
+  first.Inc(1);
+  second.Inc(2);
+  MetricsRegistry registry;
+  registry.AddCounter("dup", &first);
+  registry.AddCounter("dup", &second);  // Logs a TAICHI_ERROR, replaces.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Snapshot(0).Find("dup")->count, 2u);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllMetrics) {
+  sim::Counter c;
+  c.Inc(42);
+  sim::Summary s;
+  s.Add(3.5);
+  MetricsRegistry registry;
+  registry.AddCounter("kernel.ipis", &c);
+  registry.AddSummary("lat", &s);
+
+  std::string json = registry.Snapshot(sim::Millis(2)).ToJson();
+  EXPECT_NE(json.find("\"at_ns\": 2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.ipis\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("42"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"summary\""), std::string::npos);
+  // Balanced braces (cheap structural sanity; full parse happens in the
+  // trace test's JSON checker).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, CsvExportRoundTrip) {
+  sim::Counter c;
+  c.Inc(9);
+  sim::Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  MetricsRegistry registry;
+  registry.AddCounter("pkts", &c);
+  registry.AddSummary("lat_us", &s);
+
+  std::string csv = registry.Snapshot(0).ToCsv();
+  std::istringstream lines(csv);
+  std::string header, row1, row2;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "name,kind,count,value,min,mean,max,p50,p90,p99,sum");
+  ASSERT_TRUE(std::getline(lines, row1));
+  ASSERT_TRUE(std::getline(lines, row2));
+  EXPECT_EQ(row1.substr(0, row1.find(',')), "lat_us");  // Sorted by name.
+  EXPECT_EQ(row2.substr(0, row2.find(',')), "pkts");
+  EXPECT_NE(row2.find("counter,9"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteFilePicksFormatByExtension) {
+  sim::Counter c;
+  c.Inc(1);
+  MetricsRegistry registry;
+  registry.AddCounter("c", &c);
+  MetricsSnapshot snap = registry.Snapshot(0);
+
+  std::string json_path = testing::TempDir() + "/metrics_test.json";
+  std::string csv_path = testing::TempDir() + "/metrics_test.csv";
+  ASSERT_TRUE(snap.WriteFile(json_path));
+  ASSERT_TRUE(snap.WriteFile(csv_path));
+
+  std::ifstream jf(json_path);
+  std::string json((std::istreambuf_iterator<char>(jf)), std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+
+  std::ifstream cf(csv_path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(cf, first_line));
+  EXPECT_EQ(first_line.substr(0, 5), "name,");
+
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace taichi::obs
