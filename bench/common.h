@@ -2,14 +2,17 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/exp/runners.h"
 #include "src/exp/testbed.h"
+#include "src/sim/logging.h"
 #include "src/sim/table.h"
 
 namespace taichi::bench {
@@ -49,6 +52,120 @@ inline std::string Pct(double value, double reference) {
   std::snprintf(buf, sizeof(buf), "%+.2f%%", (value / reference - 1.0) * 100.0);
   return buf;
 }
+
+// Machine-readable bench output. Every harness constructs one of these with
+// its argv; when the user passed `--json <path>`, key/value pairs recorded
+// via Config()/Metric() are written to `path` as
+//   {"bench": "<name>", "config": {...}, "metrics": {...}}
+// on Write() (call it last in main). Without --json this is all a no-op, so
+// the human-readable tables stay the default. Values are emitted in
+// insertion order and deterministically formatted: same seed, same bytes.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+  }
+
+  bool requested() const { return !path_.empty(); }
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, Quote(value));
+  }
+  void Config(const std::string& key, double value) { config_.emplace_back(key, Num(value)); }
+  void Config(const std::string& key, int64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void Config(const std::string& key, bool value) {
+    config_.emplace_back(key, value ? "true" : "false");
+  }
+
+  void Metric(const std::string& key, double value) { metrics_.emplace_back(key, Num(value)); }
+  void Metric(const std::string& key, int64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  // Flattens a latency summary into <key>.{count,mean,p50,p90,p99,max}.
+  void Metric(const std::string& key, const sim::Summary& summary) {
+    Metric(key + ".count", static_cast<int64_t>(summary.count()));
+    if (summary.empty()) {
+      return;
+    }
+    Metric(key + ".mean", summary.mean());
+    Metric(key + ".p50", summary.Percentile(50));
+    Metric(key + ".p90", summary.Percentile(90));
+    Metric(key + ".p99", summary.Percentile(99));
+    Metric(key + ".max", summary.max());
+  }
+
+  // Writes the report if --json was given. Returns false only on I/O error.
+  bool Write() const {
+    if (path_.empty()) {
+      return true;
+    }
+    std::string out = "{\n  \"bench\": " + Quote(bench_) + ",\n";
+    AppendSection(out, "config", config_);
+    out += ",\n";
+    AppendSection(out, "metrics", metrics_);
+    out += "\n}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      TAICHI_ERROR(0, "bench: cannot open '%s' for writing", path_.c_str());
+      return false;
+    }
+    size_t written = std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    if (written != out.size()) {
+      TAICHI_ERROR(0, "bench: short write to '%s'", path_.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) {
+      return "0";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static void AppendSection(std::string& out, const char* name, const Entries& entries) {
+    out += "  \"";
+    out += name;
+    out += "\": {";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    " + Quote(entries[i].first) + ": " + entries[i].second;
+    }
+    out += entries.empty() ? "}" : "\n  }";
+  }
+
+  std::string bench_;
+  std::string path_;
+  Entries config_;
+  Entries metrics_;
+};
 
 }  // namespace taichi::bench
 

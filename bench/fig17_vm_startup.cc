@@ -11,9 +11,12 @@ constexpr double kStartupSloMs = 160.0;
 constexpr double kHostInstantiateMs = 60.0;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Figure 17", "VM startup vs density: baseline vs Tai Chi");
 
+  bench::JsonReport json("fig17_vm_startup", argc, argv);
+  json.Config("num_vms", static_cast<int64_t>(60));
+  json.Config("slo_ms", kStartupSloMs);
   sim::Table t({"Density", "Baseline (ms)", "Base/SLO", "Tai Chi (ms)", "TaiChi/SLO",
                 "Reduction"});
   for (int density : {1, 2, 3, 4}) {
@@ -33,8 +36,12 @@ int main() {
               sim::Table::Num(base / kStartupSloMs, 2), sim::Table::Num(taichi, 1),
               sim::Table::Num(taichi / kStartupSloMs, 2),
               sim::Table::Num(base / taichi, 2) + "x"});
+    const std::string prefix = "density_" + std::to_string(density) + "x.";
+    json.Metric(prefix + "baseline_ms", base);
+    json.Metric(prefix + "taichi_ms", taichi);
+    json.Metric(prefix + "reduction", base / taichi);
   }
   t.Print();
   std::printf("\npaper: ~3.1x startup reduction at high instance density\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -8,8 +8,12 @@
 
 using namespace taichi;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Table 5", "ping RTT: baseline vs Tai Chi vs Tai Chi w/o HW probe");
+
+  bench::JsonReport json("tab05_ping_rtt", argc, argv);
+  json.Config("pings", static_cast<int64_t>(2000));
+  json.Config("seed", static_cast<int64_t>(42));
 
   auto run = [](exp::Mode mode) {
     auto bed = bench::MakeTestbed(mode, 42, [](exp::TestbedConfig& cfg) {
@@ -32,9 +36,10 @@ int main() {
     t.AddRow({exp::ToString(mode), sim::Table::Num(rtt.min(), 0),
               sim::Table::Num(rtt.mean(), 0), sim::Table::Num(rtt.max(), 0),
               sim::Table::Num(rtt.mdev(), 1)});
+    json.Metric(std::string(exp::ToString(mode)) + ".rtt_us", rtt);
   }
   t.Print();
   std::printf(
       "\npaper: baseline 26/30/38/5, Tai Chi 27/30/38/5, w/o probe 32/37/115/9 (us)\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

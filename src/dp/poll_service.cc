@@ -27,6 +27,16 @@ void PollService::AttachTaiChiProbe(core::SwWorkloadProbe* probe) {
   probe_->RegisterDpService(cpu_, [this] { return IsIdle(); });
 }
 
+void PollService::DetachTaiChiProbe(YieldPolicy fallback) {
+  if (probe_ == nullptr) {
+    return;
+  }
+  probe_->UnregisterDpService(cpu_);
+  probe_ = nullptr;
+  policy_ = fallback;
+  counting_done_ = false;
+}
+
 bool PollService::IsIdle() const {
   for (const hw::DescriptorRing* ring : rings_) {
     if (!ring->empty()) {

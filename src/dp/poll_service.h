@@ -70,6 +70,10 @@ class PollService : public os::Behavior {
   // Registers with Tai Chi's software probe and switches to kTaiChi policy.
   void AttachTaiChiProbe(core::SwWorkloadProbe* probe);
 
+  // Unregisters from the probe and reverts to `fallback` (staged-rollout
+  // rollback path). No-op when no probe is attached.
+  void DetachTaiChiProbe(YieldPolicy fallback = YieldPolicy::kBusyPoll);
+
   // True when every attached ring is empty.
   bool IsIdle() const;
 

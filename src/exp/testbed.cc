@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/os/behaviors.h"
+#include "src/sim/logging.h"
 
 namespace taichi::exp {
 
@@ -50,14 +51,7 @@ Testbed::Testbed(TestbedConfig config)
                          config_.mode == Mode::kTaiChiNoHwProbe ||
                          config_.mode == Mode::kTaiChiVdp;
   if (is_taichi) {
-    core::TaiChiConfig tcfg = config_.taichi;
-    tcfg.dp_cpus = dp_set_;
-    tcfg.cp_cpus = cp_set_;
-    if (tcfg.num_vcpus == 0) {
-      tcfg.num_vcpus = config_.dp_cpu_count;
-    }
-    tcfg.hw_probe_enabled = config_.mode != Mode::kTaiChiNoHwProbe;
-    taichi_ = std::make_unique<core::TaiChi>(kernel_.get(), tcfg);
+    InstallTaiChi();
     // vCPU bring-up (boot IPIs + boot cost).
     sim_.RunFor(sim::Millis(1));
     cp_task_cpus_ = taichi_->cp_task_cpus();
@@ -74,6 +68,23 @@ Testbed::Testbed(TestbedConfig config)
 }
 
 Testbed::~Testbed() = default;
+
+void Testbed::InstallTaiChi() {
+  core::TaiChiConfig tcfg = config_.taichi;
+  tcfg.dp_cpus = dp_set_;
+  tcfg.cp_cpus = cp_set_;
+  if (tcfg.num_vcpus == 0) {
+    tcfg.num_vcpus = config_.dp_cpu_count;
+  }
+  tcfg.hw_probe_enabled = config_.mode != Mode::kTaiChiNoHwProbe;
+  // Every generation gets fresh CPU and APIC ids: retired vCPUs stay
+  // registered with the kernel (there is no CPU unregistration, as on real
+  // hardware), so an enable→disable→enable cycle must not collide.
+  tcfg.vcpu_apic_base =
+      static_cast<uint32_t>(virt::kVcpuApicBase) + taichi_generation_ * 64u;
+  ++taichi_generation_;
+  taichi_ = std::make_unique<core::TaiChi>(kernel_.get(), tcfg);
+}
 
 void Testbed::BuildTopology() {
   assert(config_.dp_cpu_count < static_cast<int>(config_.total_cpus));
@@ -131,22 +142,27 @@ void Testbed::BuildServices() {
     service->set_sink([this](const hw::IoPacket& pkt, sim::SimTime completed) {
       DispatchFromDp(pkt, completed);
     });
-    if (is_taichi) {
-      service->AttachTaiChiProbe(&taichi_->sw_probe());
-      if (config_.multi_dim_idle) {
-        // §9: override the idle check with the multi-dimensional variant.
-        dp::PollService* svc = service.get();
-        taichi_->sw_probe().RegisterDpService(
-            cpu, [this, svc, queue] {
-              return svc->IsIdle() && machine_->accelerator().in_flight(queue) == 0;
-            });
-      }
-    }
     os::Task* task = kernel_->Spawn("dp_service_" + std::to_string(cpu),
                                     std::make_unique<os::BehaviorRef>(service.get()),
                                     os::CpuSet::Of({cpu}), os::Priority::kHigh);
     service->BindTask(kernel_.get(), task);
     services_.push_back(std::move(service));
+    if (is_taichi) {
+      WireServiceProbe(services_.size() - 1);
+    }
+  }
+}
+
+void Testbed::WireServiceProbe(size_t service_index) {
+  dp::PollService* svc = services_[service_index].get();
+  svc->AttachTaiChiProbe(&taichi_->sw_probe());
+  if (config_.multi_dim_idle) {
+    // §9: override the idle check with the multi-dimensional variant.
+    const uint32_t queue = queues_[service_index];
+    taichi_->sw_probe().RegisterDpService(
+        svc->cpu(), [this, svc, queue] {
+          return svc->IsIdle() && machine_->accelerator().in_flight(queue) == 0;
+        });
   }
 }
 
@@ -296,8 +312,103 @@ void Testbed::SpawnBackgroundCp() {
   if (!config_.spawn_monitors) {
     return;
   }
-  cp::SpawnMonitorFleet(kernel_.get(), config_.monitors, cp_task_cpus_, &monitor_lock_,
-                        config_.seed ^ 0x3a0b17);
+  std::vector<os::Task*> tasks = cp::SpawnMonitorFleet(kernel_.get(), config_.monitors,
+                                                       cp_task_cpus_, &monitor_lock_,
+                                                       config_.seed ^ 0x3a0b17);
+  monitor_tasks_.insert(monitor_tasks_.end(), tasks.begin(), tasks.end());
+}
+
+void Testbed::EnableTaiChi() {
+  if (taichi_ != nullptr || draining_) {
+    TAICHI_ERROR(sim_.Now(), "testbed: EnableTaiChi while Tai Chi is %s",
+                 draining_ ? "still draining" : "already installed");
+    return;
+  }
+  if (config_.mode != Mode::kBaseline) {
+    TAICHI_ERROR(sim_.Now(), "testbed: runtime enable is only supported from mode "
+                 "baseline, not %s", ToString(config_.mode));
+    return;
+  }
+  int vcpus = config_.taichi.num_vcpus == 0 ? config_.dp_cpu_count : config_.taichi.num_vcpus;
+  if (kernel_->num_cpus() + vcpus > 64) {
+    TAICHI_ERROR(sim_.Now(), "testbed: out of CPU ids (%d registered, %d more wanted)",
+                 kernel_->num_cpus(), vcpus);
+    return;
+  }
+  InstallTaiChi();
+  for (size_t i = 0; i < services_.size(); ++i) {
+    WireServiceProbe(i);
+  }
+  cp_task_cpus_ = taichi_->cp_task_cpus();
+  for (os::Task* task : monitor_tasks_) {
+    if (task->state() != os::TaskState::kExited) {
+      kernel_->SetTaskAffinity(task, cp_task_cpus_);
+    }
+  }
+  if (obs_ != nullptr) {
+    taichi_->AttachObservability(obs_);
+  }
+}
+
+void Testbed::DisableTaiChi() {
+  if (taichi_ == nullptr || draining_) {
+    TAICHI_ERROR(sim_.Now(), "testbed: DisableTaiChi without an active Tai Chi");
+    return;
+  }
+  // Stop new donations, then pull every task off the vCPUs. Queued tasks
+  // migrate immediately; tasks frozen inside a preempted vCPU migrate at
+  // their next preemptible boundary, which requires the vCPU to keep getting
+  // backed until then — hence the drain below runs with the scheduler alive.
+  for (auto& service : services_) {
+    service->DetachTaiChiProbe(dp::YieldPolicy::kBusyPoll);
+  }
+  cp_task_cpus_ = cp_set_;
+  const os::CpuSet vcpus = taichi_->vcpu_set();
+  for (const auto& task : kernel_->tasks()) {
+    if (task->state() == os::TaskState::kExited) {
+      continue;
+    }
+    if (!(task->affinity() & vcpus).empty()) {
+      kernel_->SetTaskAffinity(task.get(), cp_set_);
+    }
+  }
+  draining_ = true;
+  ScheduleDrainCheck();
+}
+
+bool Testbed::TaiChiQuiesced() const {
+  for (const virt::VcpuInfo& v : taichi_->pool().vcpus()) {
+    if (kernel_->cpu_backed(v.cpu) || kernel_->runnable_count(v.cpu) > 0 ||
+        kernel_->current_task(v.cpu) != nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Testbed::ScheduleDrainCheck() {
+  sim_.Schedule(sim::Micros(200), [this] {
+    if (!draining_) {
+      return;
+    }
+    if (TaiChiQuiesced()) {
+      FinishDisableTaiChi();
+    } else {
+      ScheduleDrainCheck();
+    }
+  });
+}
+
+void Testbed::FinishDisableTaiChi() {
+  if (obs_ != nullptr) {
+    // The next enable would re-register these names; deregister so the
+    // registry never holds pointers into a destroyed framework.
+    obs_->metrics.RemovePrefix("sched.");
+    obs_->metrics.RemovePrefix("ipi.");
+    obs_->metrics.RemovePrefix("sw_probe.");
+  }
+  taichi_.reset();
+  draining_ = false;
 }
 
 void Testbed::AttachObservability(obs::Observability* obs) {

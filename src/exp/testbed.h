@@ -146,6 +146,22 @@ class Testbed {
   // Spawns the standard background CP fleet (monitors) for this mode.
   void SpawnBackgroundCp();
 
+  // --- Runtime Tai Chi enable/disable (staged rollout, §6.6) ---
+  // Installs Tai Chi on a node built as kBaseline: brings a fresh vCPU pool
+  // online, attaches the software probe to every DP service, and re-affines
+  // the background CP fleet to the widened cp_task_cpus(). vCPU bring-up
+  // completes as simulated time advances (~1 ms); newly started CP work is
+  // eligible for donated DP cycles immediately after.
+  void EnableTaiChi();
+  // Rolls Tai Chi back: detaches the probes (DP services return to busy
+  // polling), re-affines every task off the vCPUs, then drains — the
+  // framework is destroyed only once no vCPU is backed, queued-on or
+  // running a task, a few hundred microseconds of simulated time later.
+  void DisableTaiChi();
+  bool taichi_enabled() const { return taichi_ != nullptr && !draining_; }
+  // True between DisableTaiChi() and the completion of the vCPU drain.
+  bool taichi_draining() const { return draining_; }
+
   // Wires the unified observability layer (metrics + tracer) through every
   // component of the node: kernel, interrupt fabric, accelerator, HW probe,
   // the Tai Chi core (if this mode runs it), poll services, traffic sources
@@ -158,6 +174,11 @@ class Testbed {
  private:
   void BuildTopology();
   void BuildServices();
+  void InstallTaiChi();
+  void WireServiceProbe(size_t service_index);
+  bool TaiChiQuiesced() const;
+  void ScheduleDrainCheck();
+  void FinishDisableTaiChi();
   void DispatchFromDp(const hw::IoPacket& pkt, sim::SimTime completed);
 
   TestbedConfig config_;
@@ -179,8 +200,11 @@ class Testbed {
   std::unordered_map<uint16_t, Sink> vm_sinks_;
   std::unordered_map<uint16_t, Sink> wire_sinks_;
   std::unordered_map<uint16_t, Sink> storage_sinks_;
+  std::vector<os::Task*> monitor_tasks_;  // Long-lived background CP fleet.
   os::KernelSpinlock monitor_lock_{"monitor_log_lock"};
   obs::Observability* obs_ = nullptr;
+  uint32_t taichi_generation_ = 0;
+  bool draining_ = false;
 };
 
 }  // namespace taichi::exp

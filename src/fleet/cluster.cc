@@ -1,0 +1,106 @@
+#include "src/fleet/cluster.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/sim/logging.h"
+#include "src/sim/random.h"
+
+namespace taichi::fleet {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  if (config_.num_nodes <= 0) {
+    TAICHI_ERROR(0, "fleet: cluster with %d nodes is invalid, clamping to 1",
+                 config_.num_nodes);
+    config_.num_nodes = 1;
+  }
+  if (config_.epoch <= 0) {
+    TAICHI_ERROR(0, "fleet: epoch must be positive, defaulting to 5 ms");
+    config_.epoch = sim::Millis(5);
+  }
+  // Per-node seeds come from one sequential stream, so node i gets the same
+  // seed regardless of how many nodes follow it — a 4-node cluster is a
+  // prefix of the 12-node cluster with the same fleet seed.
+  sim::Rng seeder(config_.seed);
+  nodes_.reserve(static_cast<size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    auto node = std::make_unique<Node>(config_.trace_capacity);
+    char name[16];
+    std::snprintf(name, sizeof(name), "node%02d", i);
+    node->name = name;
+
+    exp::TestbedConfig cfg = config_.node;
+    if (config_.tweak) {
+      config_.tweak(i, cfg);
+    }
+    cfg.seed = seeder.Next();
+    node->bed = std::make_unique<exp::Testbed>(std::move(cfg));
+    node->obs.trace.set_enabled(config_.enable_trace);
+    node->bed->AttachObservability(&node->obs);
+    nodes_.push_back(std::move(node));
+  }
+  // Testbed construction settles each node at the same boot offset; the
+  // fleet clock starts there so the first epoch has normal length.
+  now_ = nodes_.front()->bed->sim().Now();
+}
+
+void Cluster::RunUntil(sim::SimTime deadline) {
+  while (now_ < deadline) {
+    const sim::SimTime next = now_ + config_.epoch < deadline ? now_ + config_.epoch : deadline;
+    for (auto& node : nodes_) {
+      node->bed->sim().RunUntil(next);
+    }
+    now_ = next;
+    // Hooks may add or remove hooks (a rollout deregisters itself when it
+    // finishes), so fire against a snapshot of the current ids.
+    std::vector<uint64_t> ids;
+    ids.reserve(hooks_.size());
+    for (const auto& [id, hook] : hooks_) {
+      (void)hook;
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      auto it = hooks_.find(id);
+      if (it != hooks_.end()) {
+        it->second(now_);
+      }
+    }
+  }
+}
+
+uint64_t Cluster::AddEpochHook(EpochHook hook) {
+  const uint64_t id = next_hook_id_++;
+  hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void Cluster::RemoveEpochHook(uint64_t id) { hooks_.erase(id); }
+
+sim::Summary Cluster::MergeSummaryMetric(const std::string& metric) const {
+  std::vector<const sim::Summary*> parts;
+  parts.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    parts.push_back(node->obs.metrics.FindSummary(metric));
+  }
+  return obs::MergeSummaries(parts);
+}
+
+std::string Cluster::MergedTraceJson() const {
+  std::vector<obs::TraceProcess> processes;
+  processes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    processes.push_back({node->name, &node->obs.trace});
+  }
+  return obs::MergedChromeJson(processes);
+}
+
+bool Cluster::WriteMergedTrace(const std::string& path) const {
+  std::vector<obs::TraceProcess> processes;
+  processes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    processes.push_back({node->name, &node->obs.trace});
+  }
+  return obs::WriteMergedChromeJson(processes, path);
+}
+
+}  // namespace taichi::fleet

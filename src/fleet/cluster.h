@@ -1,0 +1,99 @@
+// The fleet layer's root object: N independent SmartNIC nodes advanced in
+// lockstep inside one deterministic simulation run.
+//
+// Each node is a full exp::Testbed (its own Simulation, Machine, Kernel,
+// services and CP fleet) with its own obs::Observability. The cluster
+// advances every node's clock through fixed-size epochs in node order, so
+// cross-node control actions (placement, rollout waves, SLO checks) happen
+// only at epoch boundaries and the whole run stays reproducible: same seed,
+// same node count, same byte-identical outputs.
+#ifndef SRC_FLEET_CLUSTER_H_
+#define SRC_FLEET_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exp/testbed.h"
+#include "src/obs/observability.h"
+
+namespace taichi::fleet {
+
+struct ClusterConfig {
+  int num_nodes = 12;
+  uint64_t seed = 1;
+  // Template for every node; `tweak` (node index, config) customizes
+  // per-node settings before the per-node seed is applied.
+  exp::TestbedConfig node;
+  std::function<void(int, exp::TestbedConfig&)> tweak;
+  // Lockstep granularity: cross-node actions are quantized to this.
+  sim::Duration epoch = sim::Millis(5);
+  // Tracing is opt-in per the usual rule (one predictable branch when off).
+  bool enable_trace = false;
+  size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+};
+
+class Cluster {
+ public:
+  using EpochHook = std::function<void(sim::SimTime)>;
+
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  size_t size() const { return nodes_.size(); }
+  exp::Testbed& node(size_t i) { return *nodes_[i]->bed; }
+  const exp::Testbed& node(size_t i) const { return *nodes_[i]->bed; }
+  obs::Observability& observability(size_t i) { return nodes_[i]->obs; }
+  const obs::Observability& observability(size_t i) const { return nodes_[i]->obs; }
+  const std::string& node_name(size_t i) const { return nodes_[i]->name; }
+  const ClusterConfig& config() const { return config_; }
+
+  // The fleet clock: the epoch boundary every node has reached. Individual
+  // node clocks are exactly here between Run* calls.
+  sim::SimTime Now() const { return now_; }
+
+  // Advances all nodes in lockstep epochs until the fleet clock reaches
+  // `deadline` (rounded up to a whole epoch). Epoch hooks fire at each
+  // boundary after every node has arrived, in registration order.
+  void RunUntil(sim::SimTime deadline);
+  void RunFor(sim::Duration delta) { RunUntil(now_ + delta); }
+
+  // Hooks run at every epoch boundary; returns an id for RemoveEpochHook.
+  uint64_t AddEpochHook(EpochHook hook);
+  void RemoveEpochHook(uint64_t id);
+
+  // --- Fleet aggregation ---
+
+  // Merges the summary registered under `metric` on every node into one
+  // fleet summary (exact percentiles over the union of samples). Nodes
+  // without the metric contribute nothing.
+  sim::Summary MergeSummaryMetric(const std::string& metric) const;
+
+  // One Chrome trace with a process track group per node (pid = node index,
+  // named after the node). All nodes share the simulated clock, so events
+  // line up across processes in the viewer.
+  std::string MergedTraceJson() const;
+  bool WriteMergedTrace(const std::string& path) const;
+
+ private:
+  struct Node {
+    std::string name;
+    obs::Observability obs;
+    std::unique_ptr<exp::Testbed> bed;
+
+    explicit Node(size_t trace_capacity) : obs(trace_capacity) {}
+  };
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::SimTime now_ = 0;
+  std::map<uint64_t, EpochHook> hooks_;  // Ordered: deterministic firing.
+  uint64_t next_hook_id_ = 1;
+};
+
+}  // namespace taichi::fleet
+
+#endif  // SRC_FLEET_CLUSTER_H_

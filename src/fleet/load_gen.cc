@@ -1,0 +1,73 @@
+#include "src/fleet/load_gen.h"
+
+#include <algorithm>
+
+#include "src/sim/logging.h"
+
+namespace taichi::fleet {
+
+LoadGen::LoadGen(Cluster* cluster, LoadGenConfig config)
+    : cluster_(cluster), config_(config) {
+  // One sequential seed stream, like the cluster's: node i's draws do not
+  // depend on how many nodes exist.
+  sim::Rng seeder(config_.seed);
+  arrival_rngs_.reserve(cluster_->size());
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    arrival_rngs_.emplace_back(seeder.Next());
+  }
+}
+
+void LoadGen::Start() {
+  if (running_) {
+    TAICHI_ERROR(cluster_->Now(), "load_gen: Start called twice");
+    return;
+  }
+  running_ = true;
+  node_utils_.assign(cluster_->size(), {});
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    exp::Testbed& bed = cluster_->node(i);
+    // Per-CPU averages come from the arrival stream's sibling draws so the
+    // whole node is a function of its one RNG.
+    std::vector<double>& utils = node_utils_[i];
+    for (size_t c = 0; c < bed.active_dp_cpus().size(); ++c) {
+      utils.push_back(std::clamp(
+          arrival_rngs_[i].LogNormal(config_.util_median, config_.util_sigma),
+          config_.util_min, config_.util_max));
+    }
+    bed.StartBackgroundBurstyLoadPerCpu(utils, config_.pkt_bytes);
+    if (config_.spawn_monitors) {
+      bed.SpawnBackgroundCp();
+    }
+    if (config_.vm_arrivals && config_.vm_arrival_rate_per_sec > 0) {
+      ScheduleArrival(i);
+    }
+  }
+}
+
+void LoadGen::ScheduleArrival(size_t node) {
+  exp::Testbed& bed = cluster_->node(node);
+  const sim::Duration gap = arrival_rngs_[node].ExpDuration(
+      static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
+  bed.sim().Schedule(gap, [this, node] {
+    if (!running_) {
+      return;
+    }
+    exp::Testbed& b = cluster_->node(node);
+    // cp_task_cpus() is read at arrival time: workflows started after a
+    // rollout wave land on the vCPUs, earlier ones stay where they began.
+    b.device_manager().StartVm(b.cp_task_cpus());
+    ScheduleArrival(node);
+  });
+}
+
+void LoadGen::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    cluster_->node(i).StopBackgroundLoad();
+  }
+}
+
+}  // namespace taichi::fleet

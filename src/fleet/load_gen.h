@@ -1,0 +1,65 @@
+// Fleet workload generator: drives every cluster node with the production
+// load shape the paper measures.
+//
+// Data plane: each (node, CPU) gets an average utilization drawn from the
+// Fig. 3 fleet mix (lognormal, median ~9%, thin tail into the low 30s) and
+// bursty MMPP traffic at that level. Control plane: the standard background
+// monitor fleet plus a Poisson stream of VM-startup workflows (Fig. 17's
+// density regime), scheduled inside each node's own simulation so the whole
+// fleet stays deterministic.
+#ifndef SRC_FLEET_LOAD_GEN_H_
+#define SRC_FLEET_LOAD_GEN_H_
+
+#include <vector>
+
+#include "src/fleet/cluster.h"
+#include "src/sim/random.h"
+
+namespace taichi::fleet {
+
+struct LoadGenConfig {
+  // Fig. 3 fleet heterogeneity: LogNormal(median, sigma), clamped.
+  double util_median = 0.095;
+  double util_sigma = 0.50;
+  double util_min = 0.005;
+  double util_max = 0.85;
+  uint32_t pkt_bytes = 512;
+
+  // Poisson VM-startup arrivals per node (50/s at 1x density, §6.6).
+  bool vm_arrivals = true;
+  double vm_arrival_rate_per_sec = 50.0;
+
+  // Spawn the standard background CP monitor fleet on each node.
+  bool spawn_monitors = true;
+
+  uint64_t seed = 2024;
+};
+
+class LoadGen {
+ public:
+  LoadGen(Cluster* cluster, LoadGenConfig config);
+
+  // Starts DP load + CP arrivals on every node. Idempotent-hostile on
+  // purpose: call once per run.
+  void Start();
+  // Stops the DP sources and cuts off future VM arrivals; in-flight VM
+  // workflows still complete as the cluster advances.
+  void Stop();
+
+  bool running() const { return running_; }
+  // The drawn per-CPU utilizations, node-major (inspection / reporting).
+  const std::vector<std::vector<double>>& node_utils() const { return node_utils_; }
+
+ private:
+  void ScheduleArrival(size_t node);
+
+  Cluster* cluster_;
+  LoadGenConfig config_;
+  std::vector<sim::Rng> arrival_rngs_;  // One independent stream per node.
+  std::vector<std::vector<double>> node_utils_;
+  bool running_ = false;
+};
+
+}  // namespace taichi::fleet
+
+#endif  // SRC_FLEET_LOAD_GEN_H_

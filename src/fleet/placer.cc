@@ -1,0 +1,132 @@
+#include "src/fleet/placer.h"
+
+#include "src/sim/logging.h"
+
+namespace taichi::fleet {
+
+const char* ToString(PlacePolicy policy) {
+  switch (policy) {
+    case PlacePolicy::kRoundRobin:
+      return "round-robin";
+    case PlacePolicy::kLeastLoaded:
+      return "least-loaded";
+    case PlacePolicy::kBinPack:
+      return "bin-pack";
+  }
+  return "?";
+}
+
+Placer::Placer(size_t num_nodes, NodeCapacity capacity, PlacePolicy policy)
+    : capacity_(capacity), policy_(policy), loads_(num_nodes) {
+  if (num_nodes == 0) {
+    TAICHI_ERROR(0, "placer: zero nodes is invalid, clamping to 1");
+    loads_.resize(1);
+  }
+}
+
+bool Placer::Fits(size_t node, const WorkloadSpec& spec) const {
+  const Load& l = loads_[node];
+  return l.vms + spec.vms <= capacity_.vm_slots &&
+         l.dp_util + spec.dp_util <= capacity_.dp_util &&
+         l.cp_load + spec.cp_load <= capacity_.cp_load;
+}
+
+double Placer::LoadScore(size_t node) const {
+  const Load& l = loads_[node];
+  double score = 0.0;
+  if (capacity_.vm_slots > 0) {
+    score = static_cast<double>(l.vms) / capacity_.vm_slots;
+  }
+  if (capacity_.dp_util > 0 && l.dp_util / capacity_.dp_util > score) {
+    score = l.dp_util / capacity_.dp_util;
+  }
+  if (capacity_.cp_load > 0 && l.cp_load / capacity_.cp_load > score) {
+    score = l.cp_load / capacity_.cp_load;
+  }
+  return score;
+}
+
+void Placer::Commit(size_t node, const WorkloadSpec& spec) {
+  loads_[node].vms += spec.vms;
+  loads_[node].dp_util += spec.dp_util;
+  loads_[node].cp_load += spec.cp_load;
+  ++admitted_;
+}
+
+Placement Placer::Place(const WorkloadSpec& spec) {
+  Placement out;
+  int chosen = -1;
+  switch (policy_) {
+    case PlacePolicy::kRoundRobin: {
+      for (size_t i = 0; i < loads_.size(); ++i) {
+        const size_t node = (cursor_ + i) % loads_.size();
+        if (Fits(node, spec)) {
+          chosen = static_cast<int>(node);
+          cursor_ = (node + 1) % loads_.size();
+          break;
+        }
+      }
+      break;
+    }
+    case PlacePolicy::kLeastLoaded: {
+      // Lowest score wins; scanning in id order makes the tie-break (lowest
+      // node id) explicit and deterministic.
+      double best = 0.0;
+      for (size_t node = 0; node < loads_.size(); ++node) {
+        if (!Fits(node, spec)) {
+          continue;
+        }
+        const double score = LoadScore(node);
+        if (chosen < 0 || score < best) {
+          chosen = static_cast<int>(node);
+          best = score;
+        }
+      }
+      break;
+    }
+    case PlacePolicy::kBinPack: {
+      // Fill the hottest node that still fits before opening a colder one.
+      double best = 0.0;
+      for (size_t node = 0; node < loads_.size(); ++node) {
+        if (!Fits(node, spec)) {
+          continue;
+        }
+        const double score = LoadScore(node);
+        if (chosen < 0 || score > best) {
+          chosen = static_cast<int>(node);
+          best = score;
+        }
+      }
+      break;
+    }
+  }
+  if (chosen < 0) {
+    ++refused_;
+    out.reason = "no node with capacity for tenant '" + spec.tenant + "'";
+    return out;
+  }
+  Commit(static_cast<size_t>(chosen), spec);
+  out.admitted = true;
+  out.node = chosen;
+  return out;
+}
+
+void Placer::Release(int node, const WorkloadSpec& spec) {
+  if (node < 0 || static_cast<size_t>(node) >= loads_.size()) {
+    TAICHI_ERROR(0, "placer: release on invalid node %d", node);
+    return;
+  }
+  Load& l = loads_[static_cast<size_t>(node)];
+  l.vms -= spec.vms;
+  l.dp_util -= spec.dp_util;
+  l.cp_load -= spec.cp_load;
+  if (l.vms < 0 || l.dp_util < -1e-9 || l.cp_load < -1e-9) {
+    TAICHI_ERROR(0, "placer: node %d released below zero (tenant '%s')", node,
+                 spec.tenant.c_str());
+    l.vms = l.vms < 0 ? 0 : l.vms;
+    l.dp_util = l.dp_util < 0 ? 0 : l.dp_util;
+    l.cp_load = l.cp_load < 0 ? 0 : l.cp_load;
+  }
+}
+
+}  // namespace taichi::fleet

@@ -1,0 +1,92 @@
+// Workload placement: admits tenant workloads (VM bundles with DP traffic
+// and CP management demand) against per-node capacity.
+//
+// The placer is pure accounting — it decides *where* a workload lands and
+// whether it fits; driving the node's actual load (traffic sources, VM
+// startup storms) is the caller's job (see fleet::LoadGen). Keeping it
+// side-effect-free makes every policy decision unit-testable and replayable.
+#ifndef SRC_FLEET_PLACER_H_
+#define SRC_FLEET_PLACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taichi::fleet {
+
+enum class PlacePolicy : uint8_t {
+  kRoundRobin,   // Rotate through nodes, skipping ones that don't fit.
+  kLeastLoaded,  // Spread: lowest load score wins (ties: lowest node id).
+  kBinPack,      // Consolidate: highest load score that still fits wins.
+};
+
+const char* ToString(PlacePolicy policy);
+
+// One tenant workload unit: a bundle of VMs plus the data-plane utilization
+// and control-plane management load they bring to the node hosting them.
+struct WorkloadSpec {
+  std::string tenant;
+  int vms = 1;
+  double dp_util = 0.0;  // Sum of DP CPU-fractions (1.0 = one full DP CPU).
+  double cp_load = 0.0;  // CP management work units (monitor-equivalents).
+};
+
+// Per-node admission limits. The DP ceiling defaults to the donatable
+// headroom of 8 DP CPUs at the Fig. 3 p99 provisioning point (~32.5% per
+// CPU): beyond it a node can no longer absorb its tenants' bursts.
+struct NodeCapacity {
+  int vm_slots = 32;
+  double dp_util = 8 * 0.325;
+  double cp_load = 48.0;
+};
+
+struct Placement {
+  bool admitted = false;
+  int node = -1;
+  std::string reason;  // Why admission failed (empty when admitted).
+};
+
+class Placer {
+ public:
+  Placer(size_t num_nodes, NodeCapacity capacity, PlacePolicy policy);
+
+  // Picks a node for `spec` per the policy and commits the accounting, or
+  // refuses when no node can hold it.
+  Placement Place(const WorkloadSpec& spec);
+  // Reverses a prior placement (tenant teardown, rebalancing).
+  void Release(int node, const WorkloadSpec& spec);
+
+  size_t size() const { return loads_.size(); }
+  PlacePolicy policy() const { return policy_; }
+  const NodeCapacity& capacity() const { return capacity_; }
+
+  int vms(size_t node) const { return loads_[node].vms; }
+  double dp_util(size_t node) const { return loads_[node].dp_util; }
+  double cp_load(size_t node) const { return loads_[node].cp_load; }
+  // Fractional load: the most constrained dimension (0 = empty, 1 = full).
+  double LoadScore(size_t node) const;
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t refused() const { return refused_; }
+
+ private:
+  bool Fits(size_t node, const WorkloadSpec& spec) const;
+  void Commit(size_t node, const WorkloadSpec& spec);
+
+  struct Load {
+    int vms = 0;
+    double dp_util = 0.0;
+    double cp_load = 0.0;
+  };
+
+  NodeCapacity capacity_;
+  PlacePolicy policy_;
+  std::vector<Load> loads_;
+  size_t cursor_ = 0;  // Round-robin position.
+  uint64_t admitted_ = 0;
+  uint64_t refused_ = 0;
+};
+
+}  // namespace taichi::fleet
+
+#endif  // SRC_FLEET_PLACER_H_

@@ -1,0 +1,134 @@
+#include "src/fleet/rollout.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/logging.h"
+
+namespace taichi::fleet {
+
+Rollout::Rollout(Cluster* cluster, RolloutConfig config)
+    : cluster_(cluster), config_(std::move(config)), monitor_(cluster, config_.slo) {
+  const int n = static_cast<int>(cluster_->size());
+  if (config_.waves.empty()) {
+    // Canary -> quarter -> full, deduplicated for small clusters.
+    for (int w : {1, std::max(2, n / 4), n}) {
+      if (config_.waves.empty() || w > config_.waves.back()) {
+        config_.waves.push_back(std::min(w, n));
+      }
+    }
+  }
+  for (int& w : config_.waves) {
+    if (w < 1 || w > n) {
+      TAICHI_ERROR(0, "rollout: wave target %d clamped to cluster size %d", w, n);
+      w = std::clamp(w, 1, n);
+    }
+  }
+  if (!std::is_sorted(config_.waves.begin(), config_.waves.end())) {
+    TAICHI_ERROR(0, "rollout: wave targets must be non-decreasing; sorting");
+    std::sort(config_.waves.begin(), config_.waves.end());
+  }
+}
+
+Rollout::~Rollout() {
+  if (hook_id_ != 0) {
+    cluster_->RemoveEpochHook(hook_id_);
+  }
+}
+
+void Rollout::Start() {
+  if (state_ != State::kIdle) {
+    TAICHI_ERROR(cluster_->Now(), "rollout: Start on a rollout already in state %d",
+                 static_cast<int>(state_));
+    return;
+  }
+  hook_id_ = cluster_->AddEpochHook([this](sim::SimTime now) { OnEpoch(now); });
+  BeginWave(0, cluster_->Now());
+}
+
+std::vector<int> Rollout::EnabledIds() const {
+  std::vector<int> ids;
+  ids.reserve(enabled_);
+  for (size_t i = 0; i < enabled_; ++i) {
+    ids.push_back(static_cast<int>(i));
+  }
+  return ids;
+}
+
+void Rollout::BeginWave(size_t wave, sim::SimTime now) {
+  wave_ = wave;
+  const size_t target = static_cast<size_t>(config_.waves[wave]);
+  for (size_t i = enabled_; i < target; ++i) {
+    cluster_->node(i).EnableTaiChi();
+  }
+  enabled_ = target;
+  state_ = State::kSoaking;
+  settle_until_ = now + config_.settle;
+  measuring_ = false;
+  Note(now, "wave " + std::to_string(wave) + ": " + std::to_string(target) +
+                "/" + std::to_string(cluster_->size()) + " nodes on Tai Chi");
+}
+
+void Rollout::OnEpoch(sim::SimTime now) {
+  if (state_ != State::kSoaking) {
+    return;
+  }
+  if (!measuring_) {
+    if (now < settle_until_) {
+      return;
+    }
+    // Backlog drained; open the gate window on post-settle samples only.
+    monitor_.Observe(EnabledIds());
+    measuring_ = true;
+    gate_at_ = now + config_.soak;
+    return;
+  }
+  if (now < gate_at_) {
+    return;
+  }
+  SloMonitor::Report report = monitor_.Observe(EnabledIds());
+  if (report.total_samples < config_.slo.min_samples) {
+    // Not enough signal to judge the wave; keep soaking.
+    gate_at_ = now + config_.soak;
+    return;
+  }
+  gate_reports_.push_back(report);
+  if (report.fleet_breach) {
+    Note(now, "wave " + std::to_string(wave_) + " gate: p" +
+                  std::to_string(static_cast<int>(config_.slo.percentile)) + " " +
+                  std::to_string(report.fleet_value) + " breaches SLO " +
+                  std::to_string(config_.slo.threshold) + " -> rollback");
+    Rollback(now);
+    return;
+  }
+  Note(now, "wave " + std::to_string(wave_) + " gate: p" +
+                std::to_string(static_cast<int>(config_.slo.percentile)) + " " +
+                std::to_string(report.fleet_value) + " within SLO");
+  if (wave_ + 1 < config_.waves.size()) {
+    BeginWave(wave_ + 1, now);
+  } else {
+    state_ = State::kDone;
+    cluster_->RemoveEpochHook(hook_id_);
+    hook_id_ = 0;
+    Note(now, "rollout complete: " + std::to_string(enabled_) + " nodes on Tai Chi");
+  }
+}
+
+void Rollout::Rollback(sim::SimTime now) {
+  for (size_t i = 0; i < enabled_; ++i) {
+    if (cluster_->node(i).taichi_enabled()) {
+      cluster_->node(i).DisableTaiChi();
+    }
+  }
+  enabled_ = 0;
+  state_ = State::kRolledBack;
+  cluster_->RemoveEpochHook(hook_id_);
+  hook_id_ = 0;
+  Note(now, "rolled back: all nodes returned to baseline");
+}
+
+void Rollout::Note(sim::SimTime at, std::string what) {
+  history_.push_back({at, std::move(what)});
+}
+
+}  // namespace taichi::fleet

@@ -1,0 +1,114 @@
+#include "src/fleet/slo_monitor.h"
+
+#include <algorithm>
+
+#include "src/sim/logging.h"
+
+namespace taichi::fleet {
+
+SloMonitor::SloMonitor(Cluster* cluster, SloConfig config)
+    : cluster_(cluster), config_(std::move(config)), cursor_(cluster->size(), 0) {
+  if (config_.percentile < 0 || config_.percentile > 100) {
+    TAICHI_ERROR(0, "slo: percentile %.1f out of range, using p99", config_.percentile);
+    config_.percentile = 99.0;
+  }
+}
+
+SloMonitor::Report SloMonitor::Evaluate(const std::vector<int>& subset, bool windowed,
+                                        std::vector<size_t>* cursors) const {
+  Report report;
+  report.at = cluster_->Now();
+  report.nodes.resize(cluster_->size());
+
+  std::vector<bool> in_subset(cluster_->size(), subset.empty());
+  for (int id : subset) {
+    if (id >= 0 && static_cast<size_t>(id) < in_subset.size()) {
+      in_subset[static_cast<size_t>(id)] = true;
+    }
+  }
+
+  sim::Summary fleet;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    const sim::Summary* metric = cluster_->observability(i).metrics.FindSummary(config_.metric);
+    NodeStat& stat = report.nodes[i];
+    if (metric == nullptr) {
+      continue;
+    }
+    const std::vector<double>& samples = metric->samples();
+    size_t begin = windowed ? (*cursors)[i] : 0;
+    if (begin > samples.size()) {
+      // The node's summary was cleared/re-registered; restart the window.
+      begin = 0;
+    }
+    sim::Summary window;
+    for (size_t s = begin; s < samples.size(); ++s) {
+      window.Add(samples[s]);
+      if (in_subset[i]) {
+        fleet.Add(samples[s]);
+      }
+    }
+    if (windowed) {
+      (*cursors)[i] = samples.size();
+    }
+    stat.samples = window.count();
+    if (!window.empty()) {
+      stat.value = window.Percentile(config_.percentile);
+      stat.breach = stat.value > config_.threshold;
+    }
+    if (in_subset[i]) {
+      report.total_samples += window.count();
+    }
+  }
+
+  if (!fleet.empty()) {
+    report.fleet_value = fleet.Percentile(config_.percentile);
+    report.fleet_breach = report.fleet_value > config_.threshold;
+  }
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    NodeStat& stat = report.nodes[i];
+    if (report.fleet_value > 0 && stat.samples >= config_.min_samples &&
+        stat.value > config_.hotspot_factor * report.fleet_value) {
+      stat.hotspot = true;
+      report.hotspots.push_back(static_cast<int>(i));
+    }
+  }
+  return report;
+}
+
+SloMonitor::Report SloMonitor::Observe(const std::vector<int>& subset) {
+  last_ = Evaluate(subset, /*windowed=*/true, &cursor_);
+  return last_;
+}
+
+SloMonitor::Report SloMonitor::Cumulative() const {
+  return Evaluate({}, /*windowed=*/false, nullptr);
+}
+
+std::vector<SloMonitor::Move> SloMonitor::SuggestRebalance(const Placer& placer) const {
+  std::vector<Move> moves;
+  if (placer.size() != cluster_->size()) {
+    TAICHI_ERROR(cluster_->Now(), "slo: placer tracks %zu nodes but the cluster has %zu",
+                 placer.size(), cluster_->size());
+    return moves;
+  }
+  for (int hot : last_.hotspots) {
+    int coolest = -1;
+    double best = 0.0;
+    for (size_t i = 0; i < placer.size(); ++i) {
+      if (static_cast<int>(i) == hot || last_.nodes[i].hotspot) {
+        continue;
+      }
+      const double score = placer.LoadScore(i);
+      if (coolest < 0 || score < best) {
+        coolest = static_cast<int>(i);
+        best = score;
+      }
+    }
+    if (coolest >= 0) {
+      moves.push_back({hot, coolest});
+    }
+  }
+  return moves;
+}
+
+}  // namespace taichi::fleet

@@ -1,0 +1,85 @@
+// Fleet SLO monitoring: aggregates one summary metric (default: the VM
+// startup latency that is the paper's headline CP SLO) across every node
+// into exact fleet percentiles, flags breaches and hotspot nodes, and
+// suggests rebalancing moves against a Placer's accounting.
+//
+// Observation is windowed: each Observe() evaluates only the samples that
+// arrived since the previous Observe(), which is what a rollout gate needs
+// (old pre-wave samples must not dilute a fresh regression).
+#ifndef SRC_FLEET_SLO_MONITOR_H_
+#define SRC_FLEET_SLO_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fleet/cluster.h"
+#include "src/fleet/placer.h"
+
+namespace taichi::fleet {
+
+struct SloConfig {
+  // Name of a summary registered in each node's MetricsRegistry.
+  std::string metric = "cp.vm_startup.latency_ms";
+  double percentile = 99.0;
+  // SLO ceiling in the metric's unit. Default: the 160 ms VM-startup SLO.
+  double threshold = 160.0;
+  // A node is a hotspot when its windowed percentile exceeds the fleet
+  // value by this factor (with at least min_samples in the window).
+  double hotspot_factor = 1.5;
+  size_t min_samples = 5;
+};
+
+class SloMonitor {
+ public:
+  struct NodeStat {
+    size_t samples = 0;   // Window sample count.
+    double value = 0.0;   // Windowed percentile (0 when samples == 0).
+    bool breach = false;
+    bool hotspot = false;
+  };
+
+  struct Report {
+    sim::SimTime at = 0;
+    size_t total_samples = 0;  // Across the evaluated node set.
+    double fleet_value = 0.0;  // Percentile over the merged window.
+    bool fleet_breach = false;
+    std::vector<NodeStat> nodes;  // One entry per cluster node, always.
+    std::vector<int> hotspots;    // Node ids, ascending.
+  };
+
+  struct Move {
+    int from = -1;
+    int to = -1;
+  };
+
+  SloMonitor(Cluster* cluster, SloConfig config);
+
+  // Evaluates the window since the previous Observe() (first call: since the
+  // start of the run) and advances the window. The fleet aggregate covers
+  // `subset` node ids when given, all nodes otherwise; per-node stats are
+  // always computed for every node.
+  Report Observe(const std::vector<int>& subset = {});
+  // Same evaluation over all samples ever recorded; does not move the window.
+  Report Cumulative() const;
+
+  const Report& last() const { return last_; }
+  const SloConfig& config() const { return config_; }
+
+  // For each hotspot in the last report, proposes moving load to the
+  // coolest non-hotspot node by the placer's accounting. Advice only — the
+  // caller applies it via Placer::Release/Place and its load drivers.
+  std::vector<Move> SuggestRebalance(const Placer& placer) const;
+
+ private:
+  Report Evaluate(const std::vector<int>& subset, bool windowed,
+                  std::vector<size_t>* cursors) const;
+
+  Cluster* cluster_;
+  SloConfig config_;
+  std::vector<size_t> cursor_;  // Per-node samples already consumed.
+  Report last_;
+};
+
+}  // namespace taichi::fleet
+
+#endif  // SRC_FLEET_SLO_MONITOR_H_

@@ -119,6 +119,14 @@ void MetricsRegistry::AddHistogram(const std::string& name, const sim::Histogram
 
 void MetricsRegistry::Remove(const std::string& name) { metrics_.erase(name); }
 
+const sim::Summary* MetricsRegistry::FindSummary(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != MetricSample::Kind::kSummary) {
+    return nullptr;
+  }
+  return it->second.summary;
+}
+
 void MetricsRegistry::RemovePrefix(const std::string& prefix) {
   for (auto it = metrics_.lower_bound(prefix); it != metrics_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) {
@@ -250,6 +258,19 @@ std::string MetricsSnapshot::ToCsv() const {
     out += '\n';
   }
   return out;
+}
+
+sim::Summary MergeSummaries(const std::vector<const sim::Summary*>& parts) {
+  sim::Summary merged;
+  for (const sim::Summary* part : parts) {
+    if (part == nullptr) {
+      continue;
+    }
+    for (double sample : part->samples()) {
+      merged.Add(sample);
+    }
+  }
+  return merged;
 }
 
 bool MetricsSnapshot::WriteFile(const std::string& path) const {

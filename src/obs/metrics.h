@@ -80,6 +80,10 @@ class MetricsRegistry {
   bool Has(const std::string& name) const { return metrics_.contains(name); }
   size_t size() const { return metrics_.size(); }
 
+  // The registered summary under `name`, or nullptr if `name` is absent or
+  // not a summary. Fleet aggregation reads per-node summaries through this.
+  const sim::Summary* FindSummary(const std::string& name) const;
+
   MetricsSnapshot Snapshot(sim::SimTime at) const;
 
  private:
@@ -96,6 +100,13 @@ class MetricsRegistry {
 
   std::map<std::string, Entry> metrics_;  // Ordered: exports are sorted.
 };
+
+// --- Fleet aggregation -------------------------------------------------------
+
+// Merges the raw samples of several per-node summaries into one summary, so
+// fleet-level percentiles are exact order statistics over the union rather
+// than an approximation from per-node percentiles. Null entries are skipped.
+sim::Summary MergeSummaries(const std::vector<const sim::Summary*>& parts);
 
 }  // namespace taichi::obs
 

@@ -1,6 +1,7 @@
 #include "src/obs/trace.h"
 
 #include <cstdio>
+#include <functional>
 
 #include "src/sim/logging.h"
 
@@ -115,14 +116,30 @@ void TraceRecorder::Clear() {
   total_ = 0;
 }
 
-std::string TraceRecorder::ToChromeJson() const {
-  std::string out = "{\"traceEvents\":[\n";
+void TraceRecorder::AppendChromeProcess(std::string& out, int pid,
+                                        const std::string& process_name, bool& first) const {
   char buf[256];
+  auto sep = [&out, &first] {
+    if (first) {
+      first = false;
+    } else {
+      out += ",\n";
+    }
+  };
 
   // Metadata: process name plus one named thread lane per track. Tracks that
   // carried events but were never named get a default lane name.
-  out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
-         "\"args\":{\"name\":\"taichi-smartnic-sim\"}}";
+  sep();
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\","
+                "\"args\":{\"name\":\"%s\"}}",
+                pid, JsonEscape(process_name).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_sort_index\","
+                "\"args\":{\"sort_index\":%d}}",
+                pid, pid);
+  out += buf;
   std::map<int32_t, std::string> lanes = track_names_;
   for (size_t i = 0; i < ring_.size(); ++i) {
     const int32_t t = ring_[i].track;
@@ -134,22 +151,22 @@ std::string TraceRecorder::ToChromeJson() const {
   }
   for (const auto& [track, name] : lanes) {
     std::snprintf(buf, sizeof(buf),
-                  ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+                  ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
                   "\"args\":{\"name\":\"%s\"}}",
-                  track, JsonEscape(name).c_str());
+                  pid, track, JsonEscape(name).c_str());
     out += buf;
     // Chrome sorts lanes by tid by default, but pin the order explicitly so
     // accelerator queues always render below the CPUs.
     std::snprintf(buf, sizeof(buf),
-                  ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_sort_index\","
+                  ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_sort_index\","
                   "\"args\":{\"sort_index\":%d}}",
-                  track, track);
+                  pid, track, track);
     out += buf;
   }
 
   for (const TraceEvent& e : Events()) {
-    std::snprintf(buf, sizeof(buf), ",\n{\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"ts\":%.3f", e.phase,
-                  e.track, static_cast<double>(e.ts) / 1000.0);
+    std::snprintf(buf, sizeof(buf), ",\n{\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f",
+                  e.phase, pid, e.track, static_cast<double>(e.ts) / 1000.0);
     out += buf;
     if (e.phase == 'X') {
       std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", static_cast<double>(e.dur) / 1000.0);
@@ -169,12 +186,19 @@ std::string TraceRecorder::ToChromeJson() const {
     }
     out += "}";
   }
+}
+
+namespace {
+
+std::string WrapTraceEvents(const std::function<void(std::string&, bool&)>& body) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  body(out, first);
   out += "\n]}\n";
   return out;
 }
 
-bool TraceRecorder::WriteChromeJson(const std::string& path) const {
-  std::string body = ToChromeJson();
+bool WriteTraceFile(const std::string& body, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     TAICHI_ERROR(0, "trace: cannot open '%s' for writing", path.c_str());
@@ -187,6 +211,37 @@ bool TraceRecorder::WriteChromeJson(const std::string& path) const {
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  return WrapTraceEvents([this](std::string& out, bool& first) {
+    AppendChromeProcess(out, 0, "taichi-smartnic-sim", first);
+  });
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return WriteTraceFile(ToChromeJson(), path);
+}
+
+std::string MergedChromeJson(const std::vector<TraceProcess>& processes) {
+  return WrapTraceEvents([&processes](std::string& out, bool& first) {
+    for (size_t i = 0; i < processes.size(); ++i) {
+      if (processes[i].recorder == nullptr) {
+        TAICHI_ERROR(0, "trace: merged export skipping null recorder '%s'",
+                     processes[i].name.c_str());
+        continue;
+      }
+      processes[i].recorder->AppendChromeProcess(out, static_cast<int>(i), processes[i].name,
+                                                 first);
+    }
+  });
+}
+
+bool WriteMergedChromeJson(const std::vector<TraceProcess>& processes,
+                           const std::string& path) {
+  return WriteTraceFile(MergedChromeJson(processes), path);
 }
 
 }  // namespace taichi::obs

@@ -126,6 +126,12 @@ class TraceRecorder {
   // Returns false (and logs a TAICHI_ERROR) if the file cannot be written.
   bool WriteChromeJson(const std::string& path) const;
 
+  // Appends this recorder's metadata + events as Chrome process `pid` named
+  // `process_name` to `out`. `first` tracks comma placement across calls so
+  // several recorders can share one traceEvents array (fleet merge).
+  void AppendChromeProcess(std::string& out, int pid, const std::string& process_name,
+                           bool& first) const;
+
  private:
   void Push(char phase, sim::SimTime ts, sim::Duration dur, int32_t track,
             TraceCategory category, const char* name, uint64_t arg0, uint64_t arg1);
@@ -137,6 +143,23 @@ class TraceRecorder {
   uint64_t total_ = 0;
   std::map<int32_t, std::string> track_names_;
 };
+
+// --- Fleet merge -----------------------------------------------------------
+
+// One simulation node's recorder for a merged fleet trace.
+struct TraceProcess {
+  std::string name;  // Chrome process name, e.g. "node03".
+  const TraceRecorder* recorder = nullptr;
+};
+
+// Merges several recorders into one Chrome trace: each recorder becomes its
+// own process track group (pid = list index, labeled with its name), with
+// the usual per-CPU / per-accel-queue thread lanes inside. All nodes share
+// one simulated clock, so events line up across processes in the viewer.
+std::string MergedChromeJson(const std::vector<TraceProcess>& processes);
+// Returns false (and logs a TAICHI_ERROR) if the file cannot be written.
+bool WriteMergedChromeJson(const std::vector<TraceProcess>& processes,
+                           const std::string& path);
 
 }  // namespace taichi::obs
 

@@ -19,6 +19,11 @@ struct TaiChiConfig {
   // data-plane CPU can host one).
   int num_vcpus = 8;
 
+  // Synthetic LAPIC id of the first vCPU. A fresh Tai Chi generation on the
+  // same kernel (staged-rollout re-enable after a rollback) must pick a
+  // disjoint range, since retired vCPU ids stay registered with the OS.
+  uint32_t vcpu_apic_base = 1000;  // virt::kVcpuApicBase.
+
   // Adaptive vCPU time slice (§4.1): starts at `initial_slice`, doubles on
   // slice-expiry VM-exits up to `max_slice`, resets on hardware-probe exits.
   // The cap bounds the worst-case DP delay when the hardware probe is

@@ -30,6 +30,10 @@ class SwWorkloadProbe {
   // scheduler consults it before switching contexts onto that CPU.
   void RegisterDpService(os::CpuId dp_cpu, std::function<bool()> is_idle);
 
+  // Removes the registration for `dp_cpu` (staged-rollout rollback: the
+  // service returns to plain busy-polling and stops donating cycles).
+  void UnregisterDpService(os::CpuId dp_cpu) { services_.erase(dp_cpu); }
+
   // The paper's notify_idle_DP_CPU_cycles() API (Fig. 9, line 14): the DP
   // service on `dp_cpu` observed N consecutive empty polls.
   void NotifyIdleDpCpuCycles(os::CpuId dp_cpu);

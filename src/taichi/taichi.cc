@@ -5,7 +5,8 @@ namespace taichi::core {
 TaiChi::TaiChi(os::Kernel* kernel, TaiChiConfig config)
     : kernel_(kernel), config_(config) {
   mux_ = std::make_unique<virt::GuestExitMux>(kernel_);
-  pool_ = std::make_unique<virt::VcpuPool>(kernel_, config_.num_vcpus);
+  pool_ = std::make_unique<virt::VcpuPool>(kernel_, config_.num_vcpus,
+                                           static_cast<hw::ApicId>(config_.vcpu_apic_base));
   orchestrator_ = std::make_unique<IpiOrchestrator>(kernel_);
   sw_probe_ = std::make_unique<SwWorkloadProbe>(config_);
   scheduler_ = std::make_unique<VcpuScheduler>(kernel_, pool_.get(), mux_.get(),

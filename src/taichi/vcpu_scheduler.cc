@@ -37,6 +37,18 @@ VcpuScheduler::VcpuScheduler(os::Kernel* kernel, virt::VcpuPool* pool,
   }
 }
 
+VcpuScheduler::~VcpuScheduler() {
+  for (auto& [pcpu, rec] : pcpus_) {
+    (void)rec;
+    CancelSliceTimer(pcpu);
+  }
+  kernel_->RegisterSoftirq(kVcpuSwitchSoftirq, nullptr);
+  if (config_.host_vcpus_on_idle_cp_cpus) {
+    kernel_->set_idle_handler(nullptr);
+  }
+  sw_probe_->set_scheduler(nullptr);
+}
+
 void VcpuScheduler::OnCpuIdle(os::CpuId pcpu) {
   // An idle dedicated CP pCPU can host a runnable vCPU directly; a native
   // wake on this pCPU reclaims it via the IPI-induced VM-exit.

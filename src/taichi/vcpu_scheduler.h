@@ -25,6 +25,10 @@ class VcpuScheduler : public virt::GuestController {
   VcpuScheduler(os::Kernel* kernel, virt::VcpuPool* pool, virt::GuestExitMux* mux,
                 SwWorkloadProbe* sw_probe, hw::HwWorkloadProbe* hw_probe,
                 const TaiChiConfig& config);
+  // Uninstalls the switch softirq and the idle handler and cancels armed
+  // slice timers. Destroy only after the vCPUs have quiesced (no backed or
+  // runnable vCPU) — Testbed::DisableTaiChi drains before tearing down.
+  ~VcpuScheduler() override;
 
   void set_orchestrator(IpiOrchestrator* orchestrator) { orchestrator_ = orchestrator; }
 

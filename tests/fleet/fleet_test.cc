@@ -1,0 +1,418 @@
+// Fleet layer: cluster determinism, placement policies, staged rollout,
+// runtime enable/disable, and fleet metric aggregation.
+#include <gtest/gtest.h>
+
+#include "src/fleet/cluster.h"
+#include "src/fleet/load_gen.h"
+#include "src/fleet/placer.h"
+#include "src/fleet/rollout.h"
+#include "src/fleet/slo_monitor.h"
+
+namespace taichi {
+namespace {
+
+fleet::ClusterConfig SmallCluster(int nodes, uint64_t seed) {
+  fleet::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = seed;
+  cfg.epoch = sim::Millis(2);
+  return cfg;
+}
+
+// --- Placer --------------------------------------------------------------
+
+TEST(Placer, RefusesBeyondCapacity) {
+  fleet::NodeCapacity cap;
+  cap.vm_slots = 4;
+  fleet::Placer placer(1, cap, fleet::PlacePolicy::kLeastLoaded);
+
+  fleet::WorkloadSpec spec;
+  spec.tenant = "t";
+  spec.vms = 3;
+  EXPECT_TRUE(placer.Place(spec).admitted);
+
+  fleet::Placement refused = placer.Place(spec);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.node, -1);
+  EXPECT_FALSE(refused.reason.empty());
+  EXPECT_EQ(placer.admitted(), 1u);
+  EXPECT_EQ(placer.refused(), 1u);
+  EXPECT_EQ(placer.vms(0), 3);
+}
+
+TEST(Placer, RefusesOnDpAndCpDimensions) {
+  fleet::NodeCapacity cap;
+  cap.dp_util = 1.0;
+  cap.cp_load = 2.0;
+  fleet::Placer placer(1, cap, fleet::PlacePolicy::kRoundRobin);
+
+  fleet::WorkloadSpec dp_hog;
+  dp_hog.dp_util = 1.5;
+  EXPECT_FALSE(placer.Place(dp_hog).admitted);
+
+  fleet::WorkloadSpec cp_hog;
+  cp_hog.cp_load = 3.0;
+  EXPECT_FALSE(placer.Place(cp_hog).admitted);
+
+  fleet::WorkloadSpec fits;
+  fits.dp_util = 0.9;
+  fits.cp_load = 1.9;
+  EXPECT_TRUE(placer.Place(fits).admitted);
+}
+
+TEST(Placer, LeastLoadedBreaksTiesTowardLowestId) {
+  fleet::Placer placer(3, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 2;
+  // All empty: node 0. Then 1 and 2 tie below 0: node 1. Then node 2.
+  EXPECT_EQ(placer.Place(spec).node, 0);
+  EXPECT_EQ(placer.Place(spec).node, 1);
+  EXPECT_EQ(placer.Place(spec).node, 2);
+  // All equal again: back to node 0.
+  EXPECT_EQ(placer.Place(spec).node, 0);
+}
+
+TEST(Placer, RoundRobinRotatesAndSkipsFullNodes) {
+  fleet::NodeCapacity cap;
+  cap.vm_slots = 2;
+  fleet::Placer placer(3, cap, fleet::PlacePolicy::kRoundRobin);
+  fleet::WorkloadSpec spec;
+  spec.vms = 2;  // Each placement fills its node.
+  EXPECT_EQ(placer.Place(spec).node, 0);
+  EXPECT_EQ(placer.Place(spec).node, 1);
+  EXPECT_EQ(placer.Place(spec).node, 2);
+  EXPECT_FALSE(placer.Place(spec).admitted);
+
+  placer.Release(1, spec);
+  EXPECT_EQ(placer.Place(spec).node, 1);
+}
+
+TEST(Placer, BinPackFillsHottestNodeFirst) {
+  fleet::NodeCapacity cap;
+  cap.vm_slots = 4;
+  fleet::Placer placer(2, cap, fleet::PlacePolicy::kBinPack);
+  fleet::WorkloadSpec spec;
+  spec.vms = 2;
+  EXPECT_EQ(placer.Place(spec).node, 0);
+  // Node 0 is hotter and still fits: keep packing it.
+  EXPECT_EQ(placer.Place(spec).node, 0);
+  // Node 0 full: spill to node 1.
+  EXPECT_EQ(placer.Place(spec).node, 1);
+}
+
+TEST(Placer, ReleaseRestoresCapacity) {
+  fleet::Placer placer(2, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 4;
+  spec.dp_util = 0.5;
+  spec.cp_load = 5.0;
+  fleet::Placement p = placer.Place(spec);
+  ASSERT_TRUE(p.admitted);
+  EXPECT_GT(placer.LoadScore(static_cast<size_t>(p.node)), 0.0);
+  placer.Release(p.node, spec);
+  EXPECT_DOUBLE_EQ(placer.LoadScore(static_cast<size_t>(p.node)), 0.0);
+  EXPECT_EQ(placer.vms(static_cast<size_t>(p.node)), 0);
+}
+
+// --- Aggregation ---------------------------------------------------------
+
+TEST(FleetAggregation, MergeSummariesIsExactOverUnion) {
+  sim::Summary a, b;
+  for (double v : {1.0, 2.0, 3.0}) {
+    a.Add(v);
+  }
+  for (double v : {10.0, 20.0}) {
+    b.Add(v);
+  }
+  sim::Summary merged = obs::MergeSummaries({&a, &b, nullptr});
+  EXPECT_EQ(merged.count(), 5u);
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 20.0);
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(merged.sum(), 36.0);
+}
+
+TEST(FleetAggregation, FindSummaryReturnsRegisteredSummariesOnly) {
+  obs::MetricsRegistry registry;
+  sim::Summary s;
+  s.Add(4.2);
+  registry.AddSummary("lat", &s);
+  registry.AddGauge("g", [] { return 1.0; });
+  ASSERT_NE(registry.FindSummary("lat"), nullptr);
+  EXPECT_EQ(registry.FindSummary("lat")->count(), 1u);
+  EXPECT_EQ(registry.FindSummary("g"), nullptr);
+  EXPECT_EQ(registry.FindSummary("missing"), nullptr);
+}
+
+TEST(FleetAggregation, ClusterMergesNodeMetrics) {
+  fleet::Cluster cluster(SmallCluster(2, 5));
+  // Two startups on node 0, one on node 1.
+  cluster.node(0).device_manager().StartVm(cluster.node(0).cp_task_cpus());
+  cluster.node(0).device_manager().StartVm(cluster.node(0).cp_task_cpus());
+  cluster.node(1).device_manager().StartVm(cluster.node(1).cp_task_cpus());
+  cluster.RunFor(sim::Millis(100));
+  ASSERT_TRUE(cluster.node(0).device_manager().AllDone());
+  ASSERT_TRUE(cluster.node(1).device_manager().AllDone());
+
+  sim::Summary fleet = cluster.MergeSummaryMetric("cp.vm_startup.latency_ms");
+  EXPECT_EQ(fleet.count(), 3u);
+  EXPECT_DOUBLE_EQ(fleet.sum(), cluster.node(0).device_manager().startup_ms().sum() +
+                                    cluster.node(1).device_manager().startup_ms().sum());
+}
+
+// --- SLO monitor ---------------------------------------------------------
+
+class SloMonitorTest : public ::testing::Test {
+ protected:
+  SloMonitorTest() : cluster_(SmallCluster(3, 5)) {
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      cluster_.observability(i).metrics.AddSummary("test.lat", &lat_[i]);
+    }
+    cfg_.metric = "test.lat";
+    cfg_.percentile = 50.0;
+    cfg_.threshold = 100.0;
+    cfg_.min_samples = 2;
+  }
+
+  fleet::Cluster cluster_;
+  sim::Summary lat_[3];
+  fleet::SloConfig cfg_;
+};
+
+TEST_F(SloMonitorTest, WindowsAdvancePerObserve) {
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  lat_[0].Add(10);
+  lat_[0].Add(20);
+  fleet::SloMonitor::Report r1 = monitor.Observe();
+  EXPECT_EQ(r1.total_samples, 2u);
+  EXPECT_DOUBLE_EQ(r1.fleet_value, 15.0);
+  EXPECT_FALSE(r1.fleet_breach);
+
+  // Only samples added after the first Observe count in the second.
+  lat_[0].Add(500);
+  lat_[1].Add(500);
+  fleet::SloMonitor::Report r2 = monitor.Observe();
+  EXPECT_EQ(r2.total_samples, 2u);
+  EXPECT_DOUBLE_EQ(r2.fleet_value, 500.0);
+  EXPECT_TRUE(r2.fleet_breach);
+
+  // Empty window: no samples, no breach.
+  fleet::SloMonitor::Report r3 = monitor.Observe();
+  EXPECT_EQ(r3.total_samples, 0u);
+  EXPECT_FALSE(r3.fleet_breach);
+}
+
+TEST_F(SloMonitorTest, SubsetRestrictsFleetAggregateNotNodeStats) {
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  lat_[0].Add(10);
+  lat_[1].Add(1000);
+  fleet::SloMonitor::Report r = monitor.Observe({0});
+  EXPECT_EQ(r.total_samples, 1u);
+  EXPECT_DOUBLE_EQ(r.fleet_value, 10.0);
+  EXPECT_FALSE(r.fleet_breach);
+  // Node 1's own stats are still evaluated.
+  EXPECT_EQ(r.nodes[1].samples, 1u);
+  EXPECT_TRUE(r.nodes[1].breach);
+}
+
+TEST_F(SloMonitorTest, DetectsHotspotsAndSuggestsRebalance) {
+  cfg_.hotspot_factor = 2.0;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  for (int i = 0; i < 4; ++i) {
+    lat_[0].Add(10);
+    lat_[1].Add(10);
+    lat_[2].Add(90);  // Well above 2x the fleet median, below the SLO.
+  }
+  fleet::SloMonitor::Report r = monitor.Observe();
+  ASSERT_EQ(r.hotspots.size(), 1u);
+  EXPECT_EQ(r.hotspots[0], 2);
+  EXPECT_TRUE(r.nodes[2].hotspot);
+
+  fleet::Placer placer(3, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 4;
+  placer.Place(spec);  // Node 0 carries load; node 1 is the coolest.
+  std::vector<fleet::SloMonitor::Move> moves = monitor.SuggestRebalance(placer);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 2);
+  EXPECT_EQ(moves[0].to, 1);
+}
+
+// --- Cluster determinism -------------------------------------------------
+
+TEST(Cluster, NodePrefixIsIndependentOfClusterSize) {
+  struct NodeResult {
+    sim::Duration dp_work;
+    std::vector<double> startups;
+  };
+  auto drive = [](int nodes) {
+    fleet::Cluster cluster(SmallCluster(nodes, 99));
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 99;
+    lcfg.vm_arrival_rate_per_sec = 150.0;
+    fleet::LoadGen load(&cluster, lcfg);
+    load.Start();
+    cluster.RunFor(sim::Millis(60));
+    load.Stop();
+    std::vector<NodeResult> out;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      out.push_back({cluster.node(i).TotalDpWork(),
+                     cluster.node(i).device_manager().startup_ms().samples()});
+    }
+    return out;
+  };
+  // Building the larger cluster must not change what the first nodes do.
+  std::vector<NodeResult> small = drive(2);
+  std::vector<NodeResult> large = drive(3);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].dp_work, large[i].dp_work) << "node " << i;
+    EXPECT_EQ(small[i].startups, large[i].startups) << "node " << i;
+  }
+}
+
+TEST(Cluster, SameSeedRunsAreByteIdentical) {
+  auto run = [] {
+    fleet::ClusterConfig cfg = SmallCluster(2, 31);
+    cfg.enable_trace = true;
+    cfg.trace_capacity = 1 << 10;
+    fleet::Cluster cluster(cfg);
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 31;
+    lcfg.vm_arrival_rate_per_sec = 150.0;
+    fleet::LoadGen load(&cluster, lcfg);
+    load.Start();
+    cluster.RunFor(sim::Millis(40));
+    load.Stop();
+    std::string trace = cluster.MergedTraceJson();
+    std::string metrics;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      metrics += cluster.observability(i).metrics.Snapshot(cluster.Now()).ToJson();
+    }
+    return std::pair(trace, metrics);
+  };
+  auto [trace1, metrics1] = run();
+  auto [trace2, metrics2] = run();
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(metrics1, metrics2);
+}
+
+TEST(Cluster, EpochHooksFireAtEveryBoundaryAndCanBeRemoved) {
+  fleet::Cluster cluster(SmallCluster(2, 3));
+  std::vector<sim::SimTime> fired;
+  uint64_t id = cluster.AddEpochHook([&](sim::SimTime at) { fired.push_back(at); });
+  const sim::SimTime start = cluster.Now();
+  cluster.RunFor(sim::Millis(6));  // Three 2 ms epochs.
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], start + sim::Millis(2));
+  EXPECT_EQ(fired[2], start + sim::Millis(6));
+  EXPECT_EQ(cluster.node(0).sim().Now(), cluster.Now());
+  EXPECT_EQ(cluster.node(1).sim().Now(), cluster.Now());
+
+  cluster.RemoveEpochHook(id);
+  cluster.RunFor(sim::Millis(4));
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+// --- Runtime enable/disable and rollout ----------------------------------
+
+TEST(RuntimeTaiChi, EnableDisableReenableQuiesces) {
+  fleet::Cluster cluster(SmallCluster(1, 11));
+  exp::Testbed& bed = cluster.node(0);
+  EXPECT_FALSE(bed.taichi_enabled());
+
+  bed.EnableTaiChi();
+  cluster.RunFor(sim::Millis(5));
+  EXPECT_TRUE(bed.taichi_enabled());
+  ASSERT_NE(bed.taichi(), nullptr);
+
+  // Workflows started while enabled complete on the widened CP set.
+  bed.device_manager().StartVm(bed.cp_task_cpus());
+  cluster.RunFor(sim::Millis(50));
+  EXPECT_TRUE(bed.device_manager().AllDone());
+
+  bed.DisableTaiChi();
+  EXPECT_TRUE(bed.taichi_draining());
+  cluster.RunFor(sim::Millis(20));
+  EXPECT_FALSE(bed.taichi_enabled());
+  EXPECT_FALSE(bed.taichi_draining());
+  EXPECT_EQ(bed.taichi(), nullptr);
+
+  // A second generation comes up cleanly after the first was destroyed.
+  bed.EnableTaiChi();
+  cluster.RunFor(sim::Millis(5));
+  EXPECT_TRUE(bed.taichi_enabled());
+  bed.device_manager().StartVm(bed.cp_task_cpus());
+  cluster.RunFor(sim::Millis(50));
+  EXPECT_TRUE(bed.device_manager().AllDone());
+}
+
+class RolloutTest : public ::testing::Test {
+ protected:
+  static fleet::Cluster MakeCluster() {
+    fleet::ClusterConfig cfg = SmallCluster(2, 17);
+    return fleet::Cluster(cfg);
+  }
+
+  static fleet::LoadGenConfig LoadCfg() {
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 17;
+    lcfg.vm_arrival_rate_per_sec = 200.0;
+    return lcfg;
+  }
+
+  static fleet::RolloutConfig RolloutCfg(double threshold) {
+    fleet::RolloutConfig rcfg;
+    rcfg.waves = {1, 2};
+    rcfg.settle = sim::Millis(10);
+    rcfg.soak = sim::Millis(20);
+    rcfg.slo.threshold = threshold;
+    rcfg.slo.min_samples = 1;
+    return rcfg;
+  }
+};
+
+TEST_F(RolloutTest, ConvergesWhenSloHolds) {
+  fleet::Cluster cluster = MakeCluster();
+  fleet::LoadGen load(&cluster, LoadCfg());
+  load.Start();
+  cluster.RunFor(sim::Millis(20));
+
+  fleet::Rollout rollout(&cluster, RolloutCfg(/*threshold=*/1e9));
+  rollout.Start();
+  EXPECT_EQ(rollout.state(), fleet::Rollout::State::kSoaking);
+  cluster.RunFor(sim::Millis(200));
+  load.Stop();
+
+  EXPECT_EQ(rollout.state(), fleet::Rollout::State::kDone);
+  EXPECT_EQ(rollout.enabled_nodes(), 2u);
+  EXPECT_EQ(rollout.gate_reports().size(), 2u);
+  EXPECT_TRUE(cluster.node(0).taichi_enabled());
+  EXPECT_TRUE(cluster.node(1).taichi_enabled());
+}
+
+TEST_F(RolloutTest, RollsBackOnInjectedSloBreach) {
+  fleet::Cluster cluster = MakeCluster();
+  fleet::LoadGen load(&cluster, LoadCfg());
+  load.Start();
+  cluster.RunFor(sim::Millis(20));
+
+  // An impossible SLO: the first completed startup breaches the gate.
+  fleet::Rollout rollout(&cluster, RolloutCfg(/*threshold=*/1e-6));
+  rollout.Start();
+  EXPECT_TRUE(cluster.node(0).taichi_enabled());
+  cluster.RunFor(sim::Millis(200));
+  load.Stop();
+
+  EXPECT_EQ(rollout.state(), fleet::Rollout::State::kRolledBack);
+  EXPECT_EQ(rollout.enabled_nodes(), 0u);
+  ASSERT_EQ(rollout.gate_reports().size(), 1u);
+  EXPECT_TRUE(rollout.gate_reports()[0].fleet_breach);
+  // The canary drained back to the baseline; node 1 was never touched.
+  EXPECT_FALSE(cluster.node(0).taichi_enabled());
+  EXPECT_FALSE(cluster.node(0).taichi_draining());
+  EXPECT_EQ(cluster.node(0).taichi(), nullptr);
+  EXPECT_FALSE(cluster.node(1).taichi_enabled());
+}
+
+}  // namespace
+}  // namespace taichi
