@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/exp/testbed.h"
 #include "src/os/behaviors.h"
@@ -33,6 +34,61 @@ static void BM_EventQueueCancel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueCancel);
+
+// The idle-poll fast-forward pattern: a deep queue of standing timers that
+// are constantly cancelled and rescheduled. The lazy-cancel design paid an
+// O(log n) tombstone skim at every pop here; generation-tagged slots make
+// Cancel O(1) against an arbitrary depth.
+static void BM_EventQueueCancelRescheduleChurn(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  uint64_t t = 0;
+  uint64_t lcg = 1;
+  for (size_t i = 0; i < depth; ++i) {
+    ids.push_back(q.Schedule(++t, [] {}));
+  }
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    sim::EventId& id = ids[lcg % depth];
+    q.Cancel(id);
+    id = q.Schedule(++t, [] {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCancelRescheduleChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_EventQueueIsPending(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::EventId live = q.Schedule(1, [] {});
+  sim::EventId dead = q.Schedule(2, [] {});
+  q.Cancel(dead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.IsPending(live));
+    benchmark::DoNotOptimize(q.IsPending(dead));
+  }
+}
+BENCHMARK(BM_EventQueueIsPending);
+
+// Pop throughput with a cold, deep heap — the 4-ary sift path.
+static void BM_EventQueueDrain(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  uint64_t lcg = 42;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    for (size_t i = 0; i < depth; ++i) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      q.Schedule(lcg % 100000, [] {});
+    }
+    state.ResumeTiming();
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.PopNext());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * depth));
+}
+BENCHMARK(BM_EventQueueDrain)->Arg(1024)->Arg(16384);
 
 static void BM_RngDraw(benchmark::State& state) {
   sim::Rng rng(1);

@@ -12,6 +12,7 @@
 
 #include "src/exp/runners.h"
 #include "src/exp/testbed.h"
+#include "src/obs/json.h"
 #include "src/sim/logging.h"
 #include "src/sim/table.h"
 
@@ -71,6 +72,12 @@ class JsonReport {
       }
     }
   }
+
+  // Sidecar report with an explicit path (empty = disabled). Used for
+  // host-dependent measurements (wall clock, thread count) that must stay
+  // out of the deterministic main report.
+  JsonReport(std::string bench_name, std::string path)
+      : bench_(std::move(bench_name)), path_(std::move(path)) {}
 
   bool requested() const { return !path_.empty(); }
 
@@ -138,17 +145,9 @@ class JsonReport {
     return buf;
   }
 
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
-      }
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
+  // Shared with the metric/trace exporters: the old hand-rolled quoting here
+  // left control characters unescaped, producing invalid JSON.
+  static std::string Quote(const std::string& s) { return obs::JsonQuote(s); }
 
   static void AppendSection(std::string& out, const char* name, const Entries& entries) {
     out += "  \"";

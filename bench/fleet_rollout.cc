@@ -10,9 +10,16 @@
 // the fleet-wide p99 converges under the SLO.
 //
 // `--json <path>` writes the machine-readable report; `--trace <path>`
-// writes the merged per-node Chrome trace. Both are byte-identical across
-// same-seed reruns.
+// writes the merged per-node Chrome trace; `--wavelog <path>` writes the
+// rollout wave log. All three are byte-identical across same-seed reruns
+// AND across `--threads` values: nodes are stepped in parallel within each
+// epoch, but every node owns its clock/Rng/observability, so thread count
+// cannot change what the simulation computes. Host-dependent numbers (wall
+// clock, thread count) go to the separate `--perf-json <path>` sidecar.
+#include <chrono>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "bench/common.h"
 #include "src/fleet/cluster.h"
@@ -36,9 +43,19 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Fleet rollout", "staged Tai Chi enablement vs the VM-startup SLO (§6.6)");
 
   std::string trace_path;
+  std::string wavelog_path;
+  std::string perf_json_path;
+  int threads = 1;
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--trace") {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
       trace_path = argv[i + 1];
+    } else if (arg == "--wavelog") {
+      wavelog_path = argv[i + 1];
+    } else if (arg == "--perf-json") {
+      perf_json_path = argv[i + 1];
+    } else if (arg == "--threads") {
+      threads = std::atoi(argv[i + 1]);
     }
   }
 
@@ -46,6 +63,7 @@ int main(int argc, char** argv) {
   ccfg.num_nodes = kNodes;
   ccfg.seed = 42;
   ccfg.epoch = sim::Millis(5);
+  ccfg.threads = threads;
   ccfg.node.mode = exp::Mode::kBaseline;
   ccfg.enable_trace = !trace_path.empty();
   ccfg.trace_capacity = 1 << 12;  // Per node; the merge multiplies by kNodes.
@@ -68,6 +86,10 @@ int main(int argc, char** argv) {
   slo.percentile = 99.0;
   slo.min_samples = 20;
   fleet::SloMonitor monitor(&cluster, slo);
+
+  // Wall clock around the epoch-stepping phases only (construction is
+  // serial by design). This is the number --threads exists to shrink.
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Phase 1: the whole fleet on the baseline. At 4x density the CP cannot
   // keep up and the startup SLO breaches fleet-wide.
@@ -95,7 +117,11 @@ int main(int argc, char** argv) {
   cluster.RunFor(sim::Millis(400));
   fleet::SloMonitor::Report after = monitor.Observe();
   load.Stop();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
 
+  std::printf("threads: %d, wall: %.0f ms\n", threads, wall_ms);
   std::printf("rollout: %s after %zu gates\n",
               rollout.state() == fleet::Rollout::State::kDone        ? "converged"
               : rollout.state() == fleet::Rollout::State::kRolledBack ? "ROLLED BACK"
@@ -169,6 +195,31 @@ int main(int argc, char** argv) {
   }
   if (!trace_path.empty() && !cluster.WriteMergedTrace(trace_path)) {
     return 1;
+  }
+  if (!wavelog_path.empty()) {
+    // Simulated-time wave log: part of the byte-identical output contract.
+    std::FILE* f = std::fopen(wavelog_path.c_str(), "w");
+    if (f == nullptr) {
+      TAICHI_ERROR(0, "bench: cannot open '%s' for writing", wavelog_path.c_str());
+      return 1;
+    }
+    for (const fleet::Rollout::Event& e : rollout.history()) {
+      std::fprintf(f, "[%8.1f ms] %s\n", sim::ToSeconds(e.at) * 1e3, e.what.c_str());
+    }
+    std::fclose(f);
+  }
+  if (!perf_json_path.empty()) {
+    // Host-dependent sidecar; deliberately not part of the main report so
+    // `--json` output stays byte-identical across thread counts.
+    bench::JsonReport perf("fleet_rollout_perf", perf_json_path);
+    perf.Config("nodes", static_cast<int64_t>(kNodes));
+    perf.Config("threads", static_cast<int64_t>(threads));
+    perf.Config("hw_cores", static_cast<int64_t>(std::thread::hardware_concurrency()));
+    perf.Metric("wall_ms", wall_ms);
+    perf.Metric("sim_ms", sim::ToSeconds(cluster.Now()) * 1e3);
+    if (!perf.Write()) {
+      return 1;
+    }
   }
 
   const bool shape_ok = rollout.state() == fleet::Rollout::State::kDone &&

@@ -1,5 +1,6 @@
 #include "src/fleet/cluster.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -17,6 +18,16 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   if (config_.epoch <= 0) {
     TAICHI_ERROR(0, "fleet: epoch must be positive, defaulting to 5 ms");
     config_.epoch = sim::Millis(5);
+  }
+  if (config_.threads < 1) {
+    TAICHI_ERROR(0, "fleet: %d threads is invalid, running serial", config_.threads);
+    config_.threads = 1;
+  }
+  // More threads than nodes would only idle; the clamp also keeps the
+  // serial/parallel split below an exact num_nodes partition.
+  config_.threads = std::min(config_.threads, config_.num_nodes);
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<sim::ThreadPool>(config_.threads);
   }
   // Per-node seeds come from one sequential stream, so node i gets the same
   // seed regardless of how many nodes follow it — a 4-node cluster is a
@@ -47,8 +58,17 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 void Cluster::RunUntil(sim::SimTime deadline) {
   while (now_ < deadline) {
     const sim::SimTime next = now_ + config_.epoch < deadline ? now_ + config_.epoch : deadline;
-    for (auto& node : nodes_) {
-      node->bed->sim().RunUntil(next);
+    // Nodes are independent inside an epoch (each event touches only its own
+    // Testbed), so they can step concurrently. ParallelFor is a barrier:
+    // every node reaches `next` before any hook observes the fleet, exactly
+    // as in the serial loop — same outputs, byte for byte.
+    if (pool_) {
+      pool_->ParallelFor(nodes_.size(),
+                         [this, next](size_t i) { nodes_[i]->bed->sim().RunUntil(next); });
+    } else {
+      for (auto& node : nodes_) {
+        node->bed->sim().RunUntil(next);
+      }
     }
     now_ = next;
     // Hooks may add or remove hooks (a rollout deregisters itself when it

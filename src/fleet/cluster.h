@@ -3,10 +3,19 @@
 //
 // Each node is a full exp::Testbed (its own Simulation, Machine, Kernel,
 // services and CP fleet) with its own obs::Observability. The cluster
-// advances every node's clock through fixed-size epochs in node order, so
-// cross-node control actions (placement, rollout waves, SLO checks) happen
-// only at epoch boundaries and the whole run stays reproducible: same seed,
-// same node count, same byte-identical outputs.
+// advances every node's clock through fixed-size epochs, so cross-node
+// control actions (placement, rollout waves, SLO checks) happen only at
+// epoch boundaries and the whole run stays reproducible: same seed, same
+// node count, same byte-identical outputs.
+//
+// Within an epoch the nodes are embarrassingly parallel — everything a
+// node's events touch (clock, Rng, kernel, metrics, tracer) hangs off its
+// own Testbed — so `threads > 1` steps them on a thread pool and barriers
+// before firing epoch hooks. The determinism contract is hard: parallel
+// runs are byte-identical to serial runs (metrics JSON, merged Chrome
+// trace, rollout wave log), because thread count changes only which wall
+// clock stepped a node, never what the node computed. Hooks always run on
+// the caller's thread, after the barrier, in registration order.
 #ifndef SRC_FLEET_CLUSTER_H_
 #define SRC_FLEET_CLUSTER_H_
 
@@ -18,6 +27,7 @@
 
 #include "src/exp/testbed.h"
 #include "src/obs/observability.h"
+#include "src/sim/thread_pool.h"
 
 namespace taichi::fleet {
 
@@ -30,6 +40,9 @@ struct ClusterConfig {
   std::function<void(int, exp::TestbedConfig&)> tweak;
   // Lockstep granularity: cross-node actions are quantized to this.
   sim::Duration epoch = sim::Millis(5);
+  // Worker threads stepping nodes within an epoch (1 = serial). Output is
+  // byte-identical at any value; pick min(num_nodes, hardware cores).
+  int threads = 1;
   // Tracing is opt-in per the usual rule (one predictable branch when off).
   bool enable_trace = false;
   size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
@@ -89,6 +102,7 @@ class Cluster {
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<sim::ThreadPool> pool_;  // Only when config_.threads > 1.
   sim::SimTime now_ = 0;
   std::map<uint64_t, EpochHook> hooks_;  // Ordered: deterministic firing.
   uint64_t next_hook_id_ = 1;

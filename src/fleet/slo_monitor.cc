@@ -47,7 +47,11 @@ SloMonitor::Report SloMonitor::Evaluate(const std::vector<int>& subset, bool win
         fleet.Add(samples[s]);
       }
     }
-    if (windowed) {
+    // Only the evaluated subset consumes its window. A node outside the
+    // subset keeps its cursor, so a later Observe() over a different subset
+    // still sees every sample that arrived in between instead of silently
+    // dropping them.
+    if (windowed && in_subset[i]) {
       (*cursors)[i] = samples.size();
     }
     stat.samples = window.count();

@@ -55,9 +55,11 @@ class SloMonitor {
   SloMonitor(Cluster* cluster, SloConfig config);
 
   // Evaluates the window since the previous Observe() (first call: since the
-  // start of the run) and advances the window. The fleet aggregate covers
-  // `subset` node ids when given, all nodes otherwise; per-node stats are
-  // always computed for every node.
+  // start of the run) and advances the window — but only for the evaluated
+  // nodes: a node outside `subset` keeps its cursor so no sample is ever
+  // skipped by an Observe() that wasn't looking at it. The fleet aggregate
+  // covers `subset` node ids when given, all nodes otherwise; per-node stats
+  // are always computed for every node (over its current, unconsumed window).
   Report Observe(const std::vector<int>& subset = {});
   // Same evaluation over all samples ever recorded; does not move the window.
   Report Cumulative() const;

@@ -1,0 +1,21 @@
+// Shared JSON string handling for every exporter in the tree (metrics
+// snapshots, Chrome traces, bench reports). One escaping routine means one
+// definition of "valid JSON string" — the bench harnesses used to ship their
+// own quoting that missed control characters.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <string>
+
+namespace taichi::obs {
+
+// Escapes `s` for use inside a JSON string literal: quotes, backslashes,
+// and control characters (newline/tab named, the rest as \u00xx).
+std::string JsonEscape(const std::string& s);
+
+// JsonEscape() wrapped in double quotes — a complete JSON string token.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace taichi::obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -6,39 +6,126 @@
 namespace taichi::sim {
 
 EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  uint32_t slot;
+  if (free_head_ != kNoFreeSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoFreeSlot;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  s.heap_pos = static_cast<uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  SiftUp(heap_.size() - 1);
+  return MakeId(slot, s.gen);
 }
+
+size_t EventQueue::LiveSlotOf(EventId id) const {
+  const size_t slot = (id & 0xffffffffu) - 1;  // id 0 wraps to SIZE_MAX.
+  if (slot >= slots_.size()) {
+    return slots_.size();
+  }
+  const Slot& s = slots_[slot];
+  if (s.gen != static_cast<uint32_t>(id >> 32) || s.heap_pos == kNotInHeap) {
+    return slots_.size();
+  }
+  return slot;
+}
+
+bool EventQueue::IsPending(EventId id) const { return LiveSlotOf(id) < slots_.size(); }
 
 bool EventQueue::Cancel(EventId id) {
-  // The heap entry is skipped lazily when it reaches the top.
-  return pending_.erase(id) > 0;
-}
-
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+  const size_t slot = LiveSlotOf(id);
+  if (slot >= slots_.size()) {
+    return false;
   }
+  RemoveFromHeap(slots_[slot].heap_pos);
+  FreeSlot(static_cast<uint32_t>(slot));
+  return true;
 }
 
 SimTime EventQueue::NextTime() const {
-  const_cast<EventQueue*>(this)->SkimCancelled();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return slots_[heap_.front()].when;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
-  SkimCancelled();
   assert(!heap_.empty());
-  // priority_queue::top() returns const&; the entry is moved out via the
-  // usual const_cast idiom, then immediately popped.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.when, top.id, std::move(top.fn)};
-  pending_.erase(fired.id);
-  heap_.pop();
+  const uint32_t slot = heap_.front();
+  Slot& s = slots_[slot];
+  Fired fired{s.when, MakeId(slot, s.gen), std::move(s.fn)};
+  RemoveFromHeap(0);
+  FreeSlot(slot);
   return fired;
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  const uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 4;
+    if (!Earlier(slot, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<uint32_t>(pos);
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  const uint32_t slot = heap_[pos];
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t first_child = pos * 4 + 1;
+    if (first_child >= n) {
+      break;
+    }
+    const size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier(heap_[best], slot)) {
+      break;
+    }
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = static_cast<uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<uint32_t>(pos);
+}
+
+void EventQueue::RemoveFromHeap(size_t pos) {
+  assert(pos < heap_.size());
+  slots_[heap_[pos]].heap_pos = kNotInHeap;
+  const uint32_t moved = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) {
+    return;
+  }
+  heap_[pos] = moved;
+  slots_[moved].heap_pos = static_cast<uint32_t>(pos);
+  SiftUp(pos);
+  SiftDown(slots_[moved].heap_pos);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  assert(s.heap_pos == kNotInHeap);
+  s.fn = nullptr;
+  ++s.gen;  // Invalidates every outstanding id for this slot.
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 }  // namespace taichi::sim

@@ -4,8 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -18,8 +16,18 @@ using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 // Min-heap of timed callbacks. Events at equal times fire in insertion order,
-// which keeps simulations deterministic. Not thread-safe: the whole simulator
-// is single-threaded by design.
+// which keeps simulations deterministic. Not thread-safe: each simulator
+// instance is single-threaded by design (a fleet runs one queue per node).
+//
+// Layout: events live in recycled slots; the heap is a 4-ary min-heap of slot
+// indices keyed by (time, sequence). An EventId packs (slot generation, slot
+// index), so Cancel() and IsPending() are O(1) slot lookups — a stale id sees
+// a bumped generation and misses — and cancellation removes the heap entry
+// immediately instead of leaving a tombstone. Idle-poll fast-forwarding
+// cancels and reschedules constantly, so the structure must not accumulate
+// dead entries between pops. The 4-ary shape halves the tree depth of a
+// binary heap and keeps children of a node in one cache line's worth of
+// indices, which is where the sift time goes on the hot schedule/pop path.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -35,10 +43,10 @@ class EventQueue {
   bool Cancel(EventId id);
 
   // True if `id` is scheduled and not yet fired or cancelled.
-  bool IsPending(EventId id) const { return pending_.contains(id); }
+  bool IsPending(EventId id) const;
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
 
   // Time of the earliest pending event. Only valid when !empty().
   SimTime NextTime() const;
@@ -52,30 +60,50 @@ class EventQueue {
   Fired PopNext();
 
   // Total events scheduled since construction (fired, pending or cancelled).
-  uint64_t total_scheduled() const { return next_id_ - 1; }
+  uint64_t total_scheduled() const { return next_seq_ - 1; }
 
  private:
-  struct Entry {
-    SimTime when;
-    EventId id;  // Doubles as the insertion-order tiebreaker.
+  static constexpr uint32_t kNotInHeap = UINT32_MAX;
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+
+  struct Slot {
+    SimTime when = 0;
+    uint64_t seq = 0;  // Insertion-order tiebreaker at equal times.
     std::function<void()> fn;
+    uint32_t gen = 0;            // Bumped on free; stale ids miss.
+    uint32_t heap_pos = kNotInHeap;
+    uint32_t next_free = kNoFreeSlot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.id > b.id;
+
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    // +1 keeps id 0 unallocated even for (slot 0, gen 0).
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+  // Returns the slot index for `id` if it refers to a live event, else
+  // a value >= slots_.size().
+  size_t LiveSlotOf(EventId id) const;
+
+  // (when, seq) lexicographic order between slots.
+  bool Earlier(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) {
+      return sa.when < sb.when;
     }
-  };
+    return sa.seq < sb.seq;
+  }
 
-  // Drops entries whose id is no longer pending (i.e. cancelled) off the
-  // heap top.
-  void SkimCancelled();
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  // Detaches the heap entry at `pos` (swap with last + sift both ways).
+  void RemoveFromHeap(size_t pos);
+  // Returns the slot at `slot` to the free list and invalidates its id.
+  void FreeSlot(uint32_t slot);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_;  // Slot indices, 4-ary min-heap by (when, seq).
+  uint32_t free_head_ = kNoFreeSlot;
+  uint64_t next_seq_ = 1;
 };
 
 }  // namespace taichi::sim

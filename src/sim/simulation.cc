@@ -10,6 +10,9 @@ EventId Simulation::At(SimTime when, std::function<void()> fn) {
 }
 
 void Simulation::RunUntil(SimTime deadline) {
+  const bool was_stepping = stepping_.exchange(true, std::memory_order_acquire);
+  assert(!was_stepping && "Simulation stepped from two threads: cross-node state leak");
+  (void)was_stepping;
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.NextTime() <= deadline) {
     EventQueue::Fired fired = queue_.PopNext();
@@ -21,6 +24,7 @@ void Simulation::RunUntil(SimTime deadline) {
   if (!stopped_ && now_ < deadline && deadline != std::numeric_limits<SimTime>::max()) {
     now_ = deadline;
   }
+  stepping_.store(false, std::memory_order_release);
 }
 
 }  // namespace taichi::sim

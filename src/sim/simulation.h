@@ -2,6 +2,7 @@
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -57,6 +58,12 @@ class Simulation {
   SimTime now_ = 0;
   bool stopped_ = false;
   uint64_t events_executed_ = 0;
+  // Trips an assert if two threads ever step this Simulation concurrently.
+  // The fleet layer steps one node per worker thread; everything a node's
+  // events touch must hang off this Simulation, so concurrent entry here is
+  // the signature of cross-node shared state. One exchange per RunUntil call
+  // (not per event) — negligible.
+  std::atomic<bool> stepping_{false};
 };
 
 }  // namespace taichi::sim

@@ -10,7 +10,9 @@ namespace taichi::sim {
 void Summary::Add(double sample) {
   samples_.push_back(sample);
   sum_ += sample;
-  sum_sq_ += sample * sample;
+  const double delta = sample - running_mean_;
+  running_mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (sample - running_mean_);
   sorted_valid_ = false;
 }
 
@@ -33,8 +35,7 @@ double Summary::stddev() const {
   if (samples_.size() < 2) {
     return 0;
   }
-  double n = static_cast<double>(samples_.size());
-  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  double var = m2_ / static_cast<double>(samples_.size() - 1);
   return var > 0 ? std::sqrt(var) : 0;
 }
 
@@ -58,6 +59,11 @@ void Summary::EnsureSorted() const {
   }
 }
 
+const std::vector<double>& Summary::SortedSamples() const {
+  EnsureSorted();
+  return sorted_;
+}
+
 double Summary::Percentile(double p) const {
   assert(!samples_.empty());
   EnsureSorted();
@@ -77,7 +83,8 @@ void Summary::Clear() {
   sorted_.clear();
   sorted_valid_ = false;
   sum_ = 0;
-  sum_sq_ = 0;
+  running_mean_ = 0;
+  m2_ = 0;
 }
 
 Histogram::Histogram(double lo, double hi, size_t bins)
@@ -102,19 +109,12 @@ double Histogram::bin_lo(size_t i) const { return lo_ + width_ * static_cast<dou
 double Histogram::bin_hi(size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
 
 double CdfBuilder::FractionBelow(double x) const {
-  const auto& samples = summary_.samples();
-  if (samples.empty()) {
+  const std::vector<double>& sorted = summary_.SortedSamples();
+  if (sorted.empty()) {
     return 0;
   }
-  // Percentile queries force a sort anyway, so reuse the sorted copy through
-  // a binary search over Percentile()'s backing store via counting.
-  size_t below = 0;
-  for (double s : samples) {
-    if (s <= x) {
-      ++below;
-    }
-  }
-  return static_cast<double>(below) / static_cast<double>(samples.size());
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
 }
 
 }  // namespace taichi::sim

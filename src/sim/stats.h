@@ -29,6 +29,8 @@ class Summary {
   double Percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
+  // Sorted view of the samples, built lazily and shared with Percentile().
+  const std::vector<double>& SortedSamples() const;
   void Clear();
 
  private:
@@ -38,7 +40,11 @@ class Summary {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
   double sum_ = 0;
-  double sum_sq_ = 0;
+  // Welford running moments: the sum-of-squares shortcut cancels
+  // catastrophically when stddev << mean (e.g. microsecond jitter on
+  // millisecond latencies), which is exactly what latency metrics look like.
+  double running_mean_ = 0;
+  double m2_ = 0;
 };
 
 // Fixed-bucket histogram over [lo, hi) with `bins` equal-width buckets plus

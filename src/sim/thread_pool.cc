@@ -1,0 +1,80 @@
+#include "src/sim/thread_pool.h"
+
+namespace taichi::sim {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::RunSlice(const std::function<void(size_t)>& fn, size_t n) {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [this, seen_gen] { return shutdown_ || job_gen_ != seen_gen; });
+      if (shutdown_) {
+        return;
+      }
+      seen_gen = job_gen_;
+      fn = job_;
+      n = job_n_;
+    }
+    RunSlice(*fn, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (workers_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    unfinished_ = workers_.size();
+    ++job_gen_;
+  }
+  start_cv_.notify_all();
+  RunSlice(fn, n);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace taichi::sim

@@ -1,0 +1,62 @@
+// A small fixed-size thread pool for stepping independent simulations in
+// parallel (one node == one Simulation == one thread at a time).
+//
+// Determinism contract: ParallelFor(n, fn) runs fn(0..n-1) exactly once each
+// and returns only after all of them finished (a full barrier). Which worker
+// runs which index — and in what order — is unspecified, so fn(i) must touch
+// only state owned by index i (plus immutable shared state). Under that
+// contract a parallel run is byte-identical to a serial run: the pool adds
+// concurrency, never nondeterminism. The fleet layer relies on this to keep
+// same-seed cluster runs reproducible at any --threads value.
+#ifndef SRC_SIM_THREAD_POOL_H_
+#define SRC_SIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace taichi::sim {
+
+class ThreadPool {
+ public:
+  // `threads` counts the calling thread: ThreadPool(4) spawns 3 workers and
+  // ParallelFor runs on 4 threads total. threads <= 1 spawns nothing and
+  // ParallelFor degenerates to an inline loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  // calls returned. The calling thread participates. fn must not throw and
+  // must not call ParallelFor reentrantly.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Work-steals indices off next_ until the current job is exhausted.
+  void RunSlice(const std::function<void(size_t)>& fn, size_t n);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;  // Guarded by mu_.
+  size_t job_n_ = 0;                                  // Guarded by mu_.
+  uint64_t job_gen_ = 0;                              // Guarded by mu_.
+  size_t unfinished_ = 0;                             // Guarded by mu_.
+  bool shutdown_ = false;                             // Guarded by mu_.
+  std::atomic<size_t> next_{0};  // Index dispenser for the current job.
+};
+
+}  // namespace taichi::sim
+
+#endif  // SRC_SIM_THREAD_POOL_H_

@@ -215,6 +215,47 @@ TEST_F(SloMonitorTest, SubsetRestrictsFleetAggregateNotNodeStats) {
   EXPECT_TRUE(r.nodes[1].breach);
 }
 
+TEST_F(SloMonitorTest, SubsetObserveDoesNotConsumeOtherNodesWindows) {
+  // Regression: Observe(subset) used to advance the window cursor of every
+  // node, so samples landing on out-of-subset nodes between two subset
+  // observations were silently lost to the next evaluation over those nodes.
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  lat_[0].Add(10);
+  lat_[1].Add(500);  // Arrives while only node 0 is being watched.
+  fleet::SloMonitor::Report r1 = monitor.Observe({0});
+  EXPECT_EQ(r1.total_samples, 1u);
+  EXPECT_DOUBLE_EQ(r1.fleet_value, 10.0);
+
+  lat_[1].Add(600);
+  // A later window over node 1 must still see BOTH of its samples.
+  fleet::SloMonitor::Report r2 = monitor.Observe({1});
+  EXPECT_EQ(r2.total_samples, 2u);
+  EXPECT_EQ(r2.nodes[1].samples, 2u);
+  EXPECT_DOUBLE_EQ(r2.fleet_value, 550.0);
+  EXPECT_TRUE(r2.fleet_breach);
+
+  // Node 1's window was consumed by r2; node 0's was consumed by r1.
+  fleet::SloMonitor::Report r3 = monitor.Observe();
+  EXPECT_EQ(r3.total_samples, 0u);
+}
+
+TEST_F(SloMonitorTest, InterleavedSubsetsThenFullObserveSeesEverything) {
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  lat_[0].Add(1);
+  lat_[1].Add(2);
+  lat_[2].Add(3);
+  EXPECT_EQ(monitor.Observe({0}).total_samples, 1u);
+  lat_[0].Add(4);
+  EXPECT_EQ(monitor.Observe({1}).total_samples, 1u);
+  // Full observe: node 0's post-first-observe sample + node 2's untouched
+  // window, nothing double-counted.
+  fleet::SloMonitor::Report full = monitor.Observe();
+  EXPECT_EQ(full.total_samples, 2u);
+  EXPECT_EQ(full.nodes[0].samples, 1u);
+  EXPECT_EQ(full.nodes[1].samples, 0u);
+  EXPECT_EQ(full.nodes[2].samples, 1u);
+}
+
 TEST_F(SloMonitorTest, DetectsHotspotsAndSuggestsRebalance) {
   cfg_.hotspot_factor = 2.0;
   fleet::SloMonitor monitor(&cluster_, cfg_);
@@ -294,6 +335,70 @@ TEST(Cluster, SameSeedRunsAreByteIdentical) {
   auto [trace2, metrics2] = run();
   EXPECT_EQ(trace1, trace2);
   EXPECT_EQ(metrics1, metrics2);
+}
+
+// The tentpole contract: a parallel run is byte-identical to a serial run —
+// metrics JSON, merged Chrome trace, and the rollout wave log. Each node
+// owns its clock/Rng/observability, so thread count must not be observable
+// in any output.
+TEST(Cluster, ParallelRunIsByteIdenticalToSerial) {
+  struct Output {
+    std::string trace;
+    std::string metrics;
+    std::string wave_log;
+  };
+  auto run = [](int threads) {
+    fleet::ClusterConfig cfg = SmallCluster(4, 23);
+    cfg.enable_trace = true;
+    cfg.trace_capacity = 1 << 10;
+    cfg.threads = threads;
+    fleet::Cluster cluster(cfg);
+
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 23;
+    lcfg.vm_arrival_rate_per_sec = 200.0;
+    fleet::LoadGen load(&cluster, lcfg);
+    load.Start();
+    cluster.RunFor(sim::Millis(20));
+
+    fleet::RolloutConfig rcfg;
+    rcfg.waves = {1, 4};
+    rcfg.settle = sim::Millis(10);
+    rcfg.soak = sim::Millis(20);
+    rcfg.slo.threshold = 1e9;
+    rcfg.slo.min_samples = 1;
+    fleet::Rollout rollout(&cluster, rcfg);
+    rollout.Start();
+    cluster.RunFor(sim::Millis(150));
+    load.Stop();
+    EXPECT_EQ(rollout.state(), fleet::Rollout::State::kDone);
+
+    Output out;
+    out.trace = cluster.MergedTraceJson();
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      out.metrics += cluster.observability(i).metrics.Snapshot(cluster.Now()).ToJson();
+    }
+    for (const fleet::Rollout::Event& e : rollout.history()) {
+      out.wave_log += std::to_string(e.at) + " " + e.what + "\n";
+    }
+    return out;
+  };
+  Output serial = run(1);
+  Output parallel = run(4);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.wave_log, parallel.wave_log);
+  EXPECT_FALSE(serial.wave_log.empty());
+}
+
+TEST(Cluster, OversizedThreadCountClampsToNodes) {
+  fleet::ClusterConfig cfg = SmallCluster(2, 7);
+  cfg.threads = 64;  // More threads than nodes: clamp, don't spawn idlers.
+  fleet::Cluster cluster(cfg);
+  EXPECT_EQ(cluster.config().threads, 2);
+  cluster.RunFor(sim::Millis(6));
+  EXPECT_EQ(cluster.node(0).sim().Now(), cluster.Now());
+  EXPECT_EQ(cluster.node(1).sim().Now(), cluster.Now());
 }
 
 TEST(Cluster, EpochHooksFireAtEveryBoundaryAndCanBeRemoved) {

@@ -106,6 +106,105 @@ TEST(EventQueueTest, TotalScheduledCounts) {
   EXPECT_EQ(q.total_scheduled(), 5u);
 }
 
+TEST(EventQueueTest, TotalScheduledCountsCancelledAndFired) {
+  EventQueue q;
+  EventId a = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  q.Cancel(a);
+  q.PopNext();
+  // Cancelling and firing never un-count an allocation, and slot reuse must
+  // not double-count: the next schedule is event #3.
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.Schedule(3, [] {});
+  EXPECT_EQ(q.total_scheduled(), 3u);
+}
+
+TEST(EventQueueTest, StaleIdAfterSlotReuseDoesNotTouchNewEvent) {
+  EventQueue q;
+  EventId old_id = q.Schedule(10, [] {});
+  ASSERT_TRUE(q.Cancel(old_id));
+  // The freed slot is recycled for the next event; the stale id must not
+  // alias it.
+  bool fired = false;
+  EventId new_id = q.Schedule(20, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.IsPending(old_id));
+  EXPECT_TRUE(q.IsPending(new_id));
+  EXPECT_FALSE(q.Cancel(old_id));
+  ASSERT_EQ(q.size(), 1u);
+  q.PopNext().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, SlotGenerationSurvivesManyReuses) {
+  EventQueue q;
+  EventId first = q.Schedule(1, [] {});
+  q.Cancel(first);
+  // Drive many alloc/free cycles through the same slot; every retired id
+  // must stay dead.
+  std::vector<EventId> retired{first};
+  for (int i = 0; i < 1000; ++i) {
+    EventId id = q.Schedule(static_cast<SimTime>(i), [] {});
+    EXPECT_TRUE(q.IsPending(id));
+    q.Cancel(id);
+    retired.push_back(id);
+  }
+  for (EventId id : retired) {
+    EXPECT_FALSE(q.IsPending(id));
+    EXPECT_FALSE(q.Cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FifoOrderAtEqualTimesSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(q.Schedule(7, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel the odd ones; the evens must still fire in insertion order.
+  for (int i = 1; i < 16; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  // Reschedule at the same timestamp: new events sort after all survivors.
+  q.Schedule(7, [&order] { order.push_back(100); });
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14, 100}));
+}
+
+TEST(EventQueueTest, CancelRescheduleChurnKeepsQueueConsistent) {
+  // The idle-poll pattern: standing timers constantly cancelled and pushed
+  // out. Sizes and pop order must stay exact through heavy slot recycling.
+  EventQueue q;
+  std::vector<EventId> ids;
+  uint64_t seed = 7;
+  SimTime t = 0;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.Schedule(++t, [] {}));
+  }
+  for (int round = 0; round < 5000; ++round) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    size_t victim = seed % ids.size();
+    EXPECT_TRUE(q.Cancel(ids[victim]));
+    EXPECT_FALSE(q.IsPending(ids[victim]));
+    ids[victim] = q.Schedule(++t, [] {});
+    EXPECT_EQ(q.size(), ids.size());
+  }
+  EXPECT_EQ(q.total_scheduled(), 64u + 5000u);
+  SimTime last = 0;
+  size_t popped = 0;
+  while (!q.empty()) {
+    auto fired = q.PopNext();
+    EXPECT_GT(fired.when, last);  // All distinct times here.
+    last = fired.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, ids.size());
+}
+
 TEST(EventQueueTest, StressManyEventsStayOrdered) {
   EventQueue q;
   // Pseudo-random times; verify nondecreasing pop order.

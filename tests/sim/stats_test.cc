@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace taichi::sim {
 namespace {
 
@@ -32,6 +35,53 @@ TEST(SummaryTest, StddevSample) {
     s.Add(v);
   }
   EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(SummaryTest, StddevIsStableWhenMeanDwarfsSpread) {
+  // Regression: the sum-of-squares formula cancels catastrophically here —
+  // with samples 1e9 + {0,1,2}, sum_sq - sum^2/n loses all significant
+  // digits in double precision and the old code returned 0 (or garbage).
+  // Welford's update keeps the exact answer, stddev({0,1,2}) = 1.
+  Summary s;
+  for (double v : {1e9, 1e9 + 1.0, 1e9 + 2.0}) {
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+  // mdev has always been computed directly; the two must now agree in scale.
+  EXPECT_NEAR(s.mdev(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(SummaryTest, StddevMatchesDirectComputation) {
+  Summary s;
+  uint64_t seed = 9;
+  double direct_sum = 0;
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    double v = 50.0 + static_cast<double>(seed % 1000) / 100.0;
+    vals.push_back(v);
+    direct_sum += v;
+    s.Add(v);
+  }
+  const double mean = direct_sum / static_cast<double>(vals.size());
+  double acc = 0;
+  for (double v : vals) {
+    acc += (v - mean) * (v - mean);
+  }
+  const double direct = std::sqrt(acc / static_cast<double>(vals.size() - 1));
+  EXPECT_NEAR(s.stddev(), direct, 1e-9);
+}
+
+TEST(SummaryTest, SortedSamplesSharedWithPercentileCache) {
+  Summary s;
+  for (double v : {3.0, 1.0, 2.0}) {
+    s.Add(v);
+  }
+  const std::vector<double>& sorted = s.SortedSamples();
+  EXPECT_EQ(sorted, (std::vector<double>{1.0, 2.0, 3.0}));
+  // Adding invalidates and rebuilds.
+  s.Add(0.5);
+  EXPECT_DOUBLE_EQ(s.SortedSamples().front(), 0.5);
 }
 
 TEST(SummaryTest, PercentileExactOrderStatistics) {
@@ -94,6 +144,23 @@ TEST(CdfBuilderTest, FractionBelow) {
   EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.5), 0.0);
   EXPECT_DOUBLE_EQ(cdf.FractionBelow(50), 0.5);
   EXPECT_DOUBLE_EQ(cdf.FractionBelow(1000), 1.0);
+}
+
+TEST(CdfBuilderTest, FractionBelowIsInclusiveAndHandlesDuplicates) {
+  // x == a sample value counts that sample (<=), including all duplicates —
+  // the binary-search rewrite must preserve the old counting semantics.
+  CdfBuilder cdf;
+  for (double v : {1.0, 2.0, 2.0, 2.0, 3.0}) {
+    cdf.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(1.999), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(3.0), 1.0);
+  // Queries interleaved with Adds see the refreshed sorted cache.
+  cdf.Add(0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.5), 1.0 / 6.0);
 }
 
 TEST(CdfBuilderTest, QuantileInverse) {
