@@ -27,19 +27,28 @@ double OpenLoopSource::CurrentRate() const {
   return config_.rate_pps;
 }
 
+sim::Duration OpenLoopSource::NextGap() {
+  const double gap_ns = 1e9 / CurrentRate();
+  if (config_.process == OpenLoopConfig::Process::kConstant) {
+    return std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns));
+  }
+  return rng_.ExpDuration(std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns)));
+}
+
 void OpenLoopSource::ScheduleNext() {
   if (!running_ || CurrentRate() <= 0) {
     return;
   }
-  double gap_ns = 1e9 / CurrentRate();
-  sim::Duration delay;
-  if (config_.process == OpenLoopConfig::Process::kConstant) {
-    delay = std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns));
-  } else {
-    delay = rng_.ExpDuration(std::max<sim::Duration>(1, static_cast<sim::Duration>(gap_ns)));
-  }
-  sim_->Schedule(delay, [this] {
-    if (!running_) {
+  // One repeating event drives the whole arrival process: each firing
+  // injects a packet and re-keys the event with the next (possibly
+  // burst-state-dependent) gap, so the per-packet path builds no closures.
+  // The gap draw stays after the injection, preserving the RNG draw order of
+  // the schedule-per-packet pattern this replaces.
+  const sim::Duration first = NextGap();
+  event_ = sim_->ScheduleRepeating(first, first, [this] {
+    if (!running_ || CurrentRate() <= 0) {
+      sim_->Cancel(event_);
+      event_ = sim::kInvalidEventId;
       return;
     }
     if (config_.process == OpenLoopConfig::Process::kMmpp && sim_->Now() >= state_until_) {
@@ -57,7 +66,7 @@ void OpenLoopSource::ScheduleNext() {
     pkt.created = sim_->Now();
     injected_.Inc();
     accel_->Ingress(queue_, pkt);
-    ScheduleNext();
+    sim_->Reschedule(event_, NextGap());
   });
 }
 

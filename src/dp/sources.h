@@ -35,7 +35,13 @@ class OpenLoopSource {
                  OpenLoopConfig config, uint64_t seed);
 
   void Start();
-  void Stop() { running_ = false; }
+  void Stop() {
+    running_ = false;
+    if (event_ != sim::kInvalidEventId) {
+      sim_->Cancel(event_);
+      event_ = sim::kInvalidEventId;
+    }
+  }
   bool running() const { return running_; }
   void set_rate(double pps) { config_.rate_pps = pps; }
 
@@ -58,12 +64,15 @@ class OpenLoopSource {
  private:
   void ScheduleNext();
   double CurrentRate() const;
+  sim::Duration NextGap();
 
   sim::Simulation* sim_;
   hw::Accelerator* accel_;
   uint32_t queue_;
   OpenLoopConfig config_;
   sim::Rng rng_;
+  // The repeating arrival event; re-keyed with a fresh gap per packet.
+  sim::EventId event_ = sim::kInvalidEventId;
   bool running_ = false;
   bool burst_state_ = false;
   sim::SimTime state_until_ = 0;

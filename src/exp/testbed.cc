@@ -387,14 +387,17 @@ bool Testbed::TaiChiQuiesced() const {
 }
 
 void Testbed::ScheduleDrainCheck() {
-  sim_.Schedule(sim::Micros(200), [this] {
+  // One repeating poll per drain; ends itself when the drain resolves.
+  drain_event_ = sim_.ScheduleRepeating(sim::Micros(200), [this] {
     if (!draining_) {
+      sim_.Cancel(drain_event_);
+      drain_event_ = sim::kInvalidEventId;
       return;
     }
     if (TaiChiQuiesced()) {
+      sim_.Cancel(drain_event_);
+      drain_event_ = sim::kInvalidEventId;
       FinishDisableTaiChi();
-    } else {
-      ScheduleDrainCheck();
     }
   });
 }

@@ -205,6 +205,8 @@ class Testbed {
   obs::Observability* obs_ = nullptr;
   uint32_t taichi_generation_ = 0;
   bool draining_ = false;
+  // Repeating 200 µs quiescence poll while a TaiChi disable drains.
+  sim::EventId drain_event_ = sim::kInvalidEventId;
 };
 
 }  // namespace taichi::exp

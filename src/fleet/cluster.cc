@@ -62,12 +62,19 @@ void Cluster::RunUntil(sim::SimTime deadline) {
     // Testbed), so they can step concurrently. ParallelFor is a barrier:
     // every node reaches `next` before any hook observes the fleet, exactly
     // as in the serial loop — same outputs, byte for byte.
+    // The epoch boundary is each node's natural quiesce point: give back
+    // event-pool memory still held from a burst (e.g. a VM-startup storm).
+    // Cheap no-op unless pending ≪ capacity; runs on the node's own worker,
+    // so the queue is only ever touched by its owner.
     if (pool_) {
-      pool_->ParallelFor(nodes_.size(),
-                         [this, next](size_t i) { nodes_[i]->bed->sim().RunUntil(next); });
+      pool_->ParallelFor(nodes_.size(), [this, next](size_t i) {
+        nodes_[i]->bed->sim().RunUntil(next);
+        nodes_[i]->bed->sim().ShrinkEventPool();
+      });
     } else {
       for (auto& node : nodes_) {
         node->bed->sim().RunUntil(next);
+        node->bed->sim().ShrinkEventPool();
       }
     }
     now_ = next;

@@ -24,6 +24,7 @@ void LoadGen::Start() {
   }
   running_ = true;
   node_utils_.assign(cluster_->size(), {});
+  arrival_events_.assign(cluster_->size(), sim::kInvalidEventId);
   for (size_t i = 0; i < cluster_->size(); ++i) {
     exp::Testbed& bed = cluster_->node(i);
     // Per-CPU averages come from the arrival stream's sibling draws so the
@@ -48,15 +49,19 @@ void LoadGen::ScheduleArrival(size_t node) {
   exp::Testbed& bed = cluster_->node(node);
   const sim::Duration gap = arrival_rngs_[node].ExpDuration(
       static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
-  bed.sim().Schedule(gap, [this, node] {
-    if (!running_) {
-      return;
-    }
+  // One repeating event per node for the whole run; each arrival re-keys it
+  // with the next exponential gap instead of building a fresh closure. The
+  // RNG draw stays *after* StartVm, matching the draw order (and therefore
+  // the byte-exact trajectory) of the schedule-per-arrival pattern this
+  // replaces.
+  arrival_events_[node] = bed.sim().ScheduleRepeating(gap, gap, [this, node] {
     exp::Testbed& b = cluster_->node(node);
     // cp_task_cpus() is read at arrival time: workflows started after a
     // rollout wave land on the vCPUs, earlier ones stay where they began.
     b.device_manager().StartVm(b.cp_task_cpus());
-    ScheduleArrival(node);
+    const sim::Duration next = arrival_rngs_[node].ExpDuration(
+        static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
+    b.sim().Reschedule(arrival_events_[node], next);
   });
 }
 
@@ -67,6 +72,10 @@ void LoadGen::Stop() {
   running_ = false;
   for (size_t i = 0; i < cluster_->size(); ++i) {
     cluster_->node(i).StopBackgroundLoad();
+    if (i < arrival_events_.size()) {
+      cluster_->node(i).sim().Cancel(arrival_events_[i]);
+      arrival_events_[i] = sim::kInvalidEventId;
+    }
   }
 }
 

@@ -56,6 +56,9 @@ class LoadGen {
   Cluster* cluster_;
   LoadGenConfig config_;
   std::vector<sim::Rng> arrival_rngs_;  // One independent stream per node.
+  // One repeating arrival event per node, re-keyed with a fresh exponential
+  // gap after each arrival (no per-arrival closure rebuild).
+  std::vector<sim::EventId> arrival_events_;
   std::vector<std::vector<double>> node_utils_;
   bool running_ = false;
 };

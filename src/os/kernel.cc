@@ -853,7 +853,9 @@ void Kernel::StartTick(CpuId id) {
   if (c.tick_event != sim::kInvalidEventId) {
     return;
   }
-  c.tick_event = sim_->Schedule(config_.tick_period, [this, id] { Tick(id); });
+  // One repeating event per CPU: firing re-keys the slot instead of
+  // rebuilding the closure every tick_period.
+  c.tick_event = sim_->ScheduleRepeating(config_.tick_period, [this, id] { Tick(id); });
 }
 
 void Kernel::StopTick(CpuId id) {
@@ -866,16 +868,17 @@ void Kernel::StopTick(CpuId id) {
 
 void Kernel::Tick(CpuId id) {
   OsCpu& c = cpu(id);
-  c.tick_event = sim::kInvalidEventId;
   if (!CpuExecuting(c)) {
-    return;  // Restarted on resume.
+    StopTick(id);  // Restarted on resume.
+    return;
   }
   Account(c);
   Task* t = c.current;
   if (t == nullptr) {
-    return;  // Idle CPUs do not tick.
+    StopTick(id);  // Idle CPUs do not tick.
+    return;
   }
-  c.tick_event = sim_->Schedule(config_.tick_period, [this, id] { Tick(id); });
+  // The repeating tick_event has already re-keyed itself to now + tick_period.
   t->ran_in_slice_ += config_.tick_period;
   if (t->ran_in_slice_ >= config_.sched_slice && SameOrHigherWaiting(c, t->priority_)) {
     if (!t->non_preemptible()) {

@@ -1,0 +1,152 @@
+// Move-only type-erased callable with inline storage, sized for the event
+// queue's hot path.
+#ifndef SRC_SIM_INLINE_CALLBACK_H_
+#define SRC_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace taichi::sim {
+
+// The closure type behind every scheduled event. Unlike std::function it is
+// move-only (so captures can own resources) and its inline buffer is sized
+// for the simulator's real captures — `this` plus a copied IoPacket plus a
+// couple of ids (~88 bytes) — so the schedule → fire cycle never touches the
+// allocator. libstdc++'s std::function spills to the heap past 16 bytes,
+// which put one malloc/free pair on the critical path of nearly every
+// simulated IRQ, poll tick, IPI and context switch.
+//
+// Storage layout: two function pointers (invoke, manage) plus the buffer.
+// Trivially-copyable captures — the overwhelmingly common case: lambdas over
+// pointers, ids and PODs — set manage == nullptr, making moves a memcpy and
+// destruction a no-op, with no indirect call. Non-trivial captures get a
+// manage thunk that move-constructs + destroys. Captures larger than the
+// buffer fall back to a single heap box (the buffer then holds one pointer);
+// a static_assert caps how large such a capture may get so an accidentally
+// huge capture is a compile error, not a silent slow path.
+class InlineCallback {
+ public:
+  // Large enough for `this` + an hw::IoPacket (64 bytes) + two words, the
+  // biggest capture on a per-packet path. Bench + tests assert the hot-path
+  // captures stay inline; bump deliberately if a new hot capture outgrows it.
+  static constexpr size_t kInlineBytes = 88;
+  // Oversized captures heap-box, but past this they are almost certainly a
+  // bug (accidentally capturing a container by value).
+  static constexpr size_t kMaxCallableBytes = 1024;
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT: mirror std::function.
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit, lambdas convert at call sites.
+    static_assert(sizeof(D) <= kMaxCallableBytes,
+                  "callback capture is implausibly large; capture by pointer");
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      if constexpr (!TriviallyManaged<D>()) {
+        manage_ = &InlineManage<D>;
+      }
+    } else {
+      Boxed(buf_) = new D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(Boxed(p)))(); };
+      manage_ = &HeapManage<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  // dst == nullptr: destroy src. Else: move-construct dst from src and
+  // destroy src (one indirect call covers both move and destroy).
+  using ManageFn = void (*)(void* dst, void* src);
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+  template <typename D>
+  static constexpr bool TriviallyManaged() {
+    return std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>;
+  }
+
+  // The heap-box pointer lives at the front of the buffer.
+  static void*& Boxed(void* buf) { return *static_cast<void**>(buf); }
+
+  template <typename D>
+  static void InlineManage(void* dst, void* src) {
+    D* s = static_cast<D*>(src);
+    if (dst != nullptr) {
+      ::new (dst) D(std::move(*s));
+    }
+    s->~D();
+  }
+
+  template <typename D>
+  static void HeapManage(void* dst, void* src) {
+    if (dst != nullptr) {
+      Boxed(dst) = Boxed(src);  // Transfer the box; no reallocation.
+    } else {
+      delete static_cast<D*>(Boxed(src));
+    }
+  }
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ == nullptr) {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        manage_(buf_, other.buf_);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(nullptr, buf_);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+};
+
+}  // namespace taichi::sim
+
+#endif  // SRC_SIM_INLINE_CALLBACK_H_

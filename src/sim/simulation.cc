@@ -1,11 +1,20 @@
 #include "src/sim/simulation.h"
 
 #include <cassert>
+#include <cinttypes>
+
+#include "src/sim/logging.h"
 
 namespace taichi::sim {
 
-EventId Simulation::At(SimTime when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the past");
+EventId Simulation::At(SimTime when, InlineCallback fn) {
+  if (when < now_) {
+    TAICHI_ERROR(now_, "Simulation::At: schedule into the past (when=%" PRIu64
+                       " now=%" PRIu64 ")",
+                 when, now_);
+    assert(when >= now_ && "Simulation::At: cannot schedule into the past");
+    when = now_;  // Without asserts: clamp rather than corrupt the heap order.
+  }
   return queue_.Schedule(when, std::move(fn));
 }
 
@@ -20,6 +29,11 @@ void Simulation::RunUntil(SimTime deadline) {
     now_ = fired.when;
     ++events_executed_;
     fired.fn();
+    if (fired.repeating) {
+      // Hand the callback back to its (re-keyed) slot. Dropped if the
+      // callback cancelled itself.
+      queue_.RestoreRepeating(fired.id, std::move(fired.fn));
+    }
   }
   if (!stopped_ && now_ < deadline && deadline != std::numeric_limits<SimTime>::max()) {
     now_ = deadline;

@@ -4,7 +4,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "src/sim/event_queue.h"
@@ -26,12 +25,35 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   // Schedules `fn` to run `delay` nanoseconds from now.
-  EventId Schedule(Duration delay, std::function<void()> fn) {
+  EventId Schedule(Duration delay, InlineCallback fn) {
     return queue_.Schedule(now_ + delay, std::move(fn));
   }
 
-  // Schedules `fn` at an absolute time, which must not be in the past.
-  EventId At(SimTime when, std::function<void()> fn);
+  // Schedules `fn` at an absolute time, which must not be in the past:
+  // that is a model bug (an event computed its deadline from stale state),
+  // reported via TAICHI_ERROR + assert and clamped to now.
+  EventId At(SimTime when, InlineCallback fn);
+
+  // Schedules `fn` at now + first_delay and then every `period` after, on a
+  // single slot with a single callback: the standing-timer pattern (kernel
+  // tick, poll loops, arrival processes) without rebuilding a closure every
+  // cycle. The returned id stays valid across firings; Cancel() ends the
+  // cycle and Reschedule() overrides the next firing (both safe from inside
+  // the callback itself).
+  EventId ScheduleRepeating(Duration first_delay, Duration period, InlineCallback fn) {
+    return queue_.ScheduleRepeating(now_ + first_delay, period, std::move(fn));
+  }
+  EventId ScheduleRepeating(Duration period, InlineCallback fn) {
+    return ScheduleRepeating(period, period, std::move(fn));
+  }
+
+  // Re-keys a pending event to fire `delay` from now, in place: no slot
+  // churn, no callback reconstruction. Order-equivalent to Cancel + Schedule
+  // of the same callback (the event gets a fresh sequence number). Returns
+  // false if the event already fired or was cancelled.
+  bool Reschedule(EventId id, Duration delay) {
+    return queue_.Reschedule(id, now_ + delay);
+  }
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
   bool IsPending(EventId id) const { return queue_.IsPending(id); }
@@ -49,8 +71,12 @@ class Simulation {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // Releases event-pool memory after a burst; see EventQueue::ShrinkToFit.
+  void ShrinkEventPool() { queue_.ShrinkToFit(); }
+
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
+  size_t event_pool_slots() const { return queue_.slot_count(); }
 
  private:
   EventQueue queue_;

@@ -183,8 +183,17 @@ void VcpuScheduler::Enter(os::CpuId pcpu, os::CpuId vcpu, sim::Duration slice) {
 }
 
 void VcpuScheduler::ArmSliceTimer(os::CpuId pcpu, sim::Duration slice) {
-  CancelSliceTimer(pcpu);
   PcpuRecord& rec = pcpus_.at(pcpu);
+  // Guest re-entry re-arms constantly (the idle-poll fast-forward pattern);
+  // re-key the standing timer in place instead of paying Cancel + Schedule's
+  // slot churn and closure rebuild. The callback is per-pCPU state only, so
+  // the one already in the slot is exactly the one a fresh Schedule would
+  // build. Order-identical: Reschedule assigns the same fresh seq the old
+  // Schedule would have.
+  if (rec.slice_timer != sim::kInvalidEventId &&
+      kernel_->sim().Reschedule(rec.slice_timer, slice)) {
+    return;
+  }
   rec.slice_timer = kernel_->sim().Schedule(slice, [this, pcpu] {
     pcpus_.at(pcpu).slice_timer = sim::kInvalidEventId;
     if (kernel_->guest_of(pcpu) != os::kInvalidCpu) {
@@ -203,7 +212,10 @@ void VcpuScheduler::CancelSliceTimer(os::CpuId pcpu) {
 
 void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
                                 const os::GuestExitInfo& info) {
-  CancelSliceTimer(pcpu);
+  // The slice timer is deliberately NOT cancelled here: every path below
+  // either re-enters a guest (Enter → ArmSliceTimer re-keys the standing
+  // timer in place) or resumes the host via resume_host below (which
+  // cancels). Nothing in between observes the timer's pending state.
   PcpuRecord& pr = pcpus_.at(pcpu);
   guest_episode_us_.Add(sim::ToMicros(kernel_->sim().Now() - pr.guest_since));
   if (static_cast<uint32_t>(pcpu) < kernel_->machine().num_cpus()) {
@@ -221,6 +233,13 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
     }
   };
 
+  // Giving the pCPU back to the host ends the arm/re-arm cycle, so the
+  // standing slice timer must die here.
+  auto resume_host = [&] {
+    CancelSliceTimer(pcpu);
+    kernel_->ResumeHost(pcpu);
+  };
+
   // Dedicated CP pCPUs host vCPUs for lock-context rescues and while idle.
   // Keep a lock-holding vCPU there until it leaves its non-preemptible
   // context; otherwise return to the host (whose idle path re-hosts the
@@ -235,7 +254,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
       return;
     }
     requeue_or_sleep();
-    kernel_->ResumeHost(pcpu);
+    resume_host();
     return;
   }
 
@@ -256,7 +275,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
       if (next != os::kInvalidCpu) {
         Enter(pcpu, next, pr.slice);
       } else {
-        kernel_->ResumeHost(pcpu);
+        resume_host();
       }
       return;
     }
@@ -270,7 +289,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
       if (next != os::kInvalidCpu) {
         Enter(pcpu, next, pr.slice);
       } else {
-        kernel_->ResumeHost(pcpu);
+        resume_host();
       }
       return;
     }
@@ -298,7 +317,7 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
       if (!rescued) {
         requeue_or_sleep();
       }
-      kernel_->ResumeHost(pcpu);
+      resume_host();
       return;
     }
     case os::GuestExitReason::kIpiSend: {
@@ -311,13 +330,13 @@ void VcpuScheduler::OnGuestExit(os::CpuId pcpu, os::CpuId vcpu,
         Enter(pcpu, vcpu, pr.slice);
       } else {
         requeue_or_sleep();
-        kernel_->ResumeHost(pcpu);
+        resume_host();
       }
       return;
     }
     case os::GuestExitReason::kForced: {
       requeue_or_sleep();
-      kernel_->ResumeHost(pcpu);
+      resume_host();
       return;
     }
   }

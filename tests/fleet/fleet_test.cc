@@ -418,6 +418,25 @@ TEST(Cluster, EpochHooksFireAtEveryBoundaryAndCanBeRemoved) {
   EXPECT_EQ(fired.size(), 3u);
 }
 
+TEST(Cluster, EpochBoundaryShrinksNodeEventPools) {
+  fleet::Cluster cluster(SmallCluster(2, 3));
+  sim::Simulation& sim = cluster.node(0).sim();
+  // A burst of scheduled-then-cancelled work (a VM-startup storm's wake)
+  // leaves the slot table mostly free; the next epoch boundary gives the
+  // memory back.
+  std::vector<sim::EventId> burst;
+  for (int i = 0; i < 4096; ++i) {
+    burst.push_back(sim.Schedule(sim::Seconds(10) + i, [] {}));
+  }
+  for (sim::EventId id : burst) {
+    sim.Cancel(id);
+  }
+  const size_t before = sim.event_pool_slots();
+  ASSERT_GE(before, 4096u);
+  cluster.RunFor(sim::Millis(2));  // One epoch.
+  EXPECT_LT(sim.event_pool_slots(), before);
+}
+
 // --- Runtime enable/disable and rollout ----------------------------------
 
 TEST(RuntimeTaiChi, EnableDisableReenableQuiesces) {

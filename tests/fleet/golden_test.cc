@@ -1,0 +1,105 @@
+// Byte-identity goldens: a small canonical fleet scenario whose metrics JSON
+// and merged Chrome trace are pinned to files under tests/fleet/golden/.
+//
+// This is the regression net for the determinism contract (DESIGN.md §7):
+// any change to event (time, seq) ordering, RNG draw order, slot recycling,
+// or JSON formatting shows up as a byte diff against goldens produced before
+// the change. Regenerate only for an *intentional* behavior change, with
+//   TAICHI_REGEN_GOLDEN=1 build/tests/fleet_tests --gtest_filter='Golden.*'
+// and review the diff in the commit.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/fleet/cluster.h"
+#include "src/fleet/load_gen.h"
+
+#ifndef TAICHI_GOLDEN_DIR
+#define TAICHI_GOLDEN_DIR "tests/fleet/golden"
+#endif
+
+namespace taichi {
+namespace {
+
+struct Artifacts {
+  std::string metrics;  // Concatenated per-node metrics JSON snapshots.
+  std::string trace;    // Merged Chrome trace JSON.
+};
+
+// The scenario must not change between golden regenerations: 3 baseline
+// nodes under the Fig. 3 load mix plus VM-startup arrivals, 30 ms, traced.
+Artifacts RunCanonicalScenario() {
+  fleet::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.seed = 1234;
+  cfg.epoch = sim::Millis(2);
+  cfg.enable_trace = true;
+  cfg.trace_capacity = 1 << 10;
+  fleet::Cluster cluster(cfg);
+
+  fleet::LoadGenConfig lcfg;
+  lcfg.seed = 1234;
+  lcfg.vm_arrival_rate_per_sec = 120.0;
+  fleet::LoadGen load(&cluster, lcfg);
+  load.Start();
+  cluster.RunFor(sim::Millis(30));
+  load.Stop();
+
+  Artifacts out;
+  out.trace = cluster.MergedTraceJson();
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    out.metrics += cluster.observability(i).metrics.Snapshot(cluster.Now()).ToJson();
+  }
+  return out;
+}
+
+std::string GoldenPath(const char* name) {
+  return std::string(TAICHI_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void CompareOrRegen(const char* name, const std::string& got) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("TAICHI_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << got;
+    GTEST_FAIL() << "regenerated golden " << path << " (" << got.size()
+                 << " bytes); rerun without TAICHI_REGEN_GOLDEN";
+  }
+  const std::string want = ReadFile(path);
+  ASSERT_FALSE(want.empty()) << "missing golden " << path
+                             << "; regenerate with TAICHI_REGEN_GOLDEN=1";
+  // EXPECT_EQ on multi-MB strings prints unusable diffs; locate the first
+  // divergence instead.
+  if (got != want) {
+    size_t i = 0;
+    while (i < got.size() && i < want.size() && got[i] == want[i]) {
+      ++i;
+    }
+    FAIL() << name << " diverges from golden at byte " << i << " (got "
+           << got.size() << " bytes, want " << want.size() << "): ..."
+           << got.substr(i > 40 ? i - 40 : 0, 80) << "... vs ..."
+           << want.substr(i > 40 ? i - 40 : 0, 80) << "...";
+  }
+}
+
+TEST(Golden, MetricsJsonMatchesPreChangeBytes) {
+  CompareOrRegen("canonical_metrics.json", RunCanonicalScenario().metrics);
+}
+
+TEST(Golden, MergedTraceMatchesPreChangeBytes) {
+  CompareOrRegen("canonical_trace.json", RunCanonicalScenario().trace);
+}
+
+}  // namespace
+}  // namespace taichi

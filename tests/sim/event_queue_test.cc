@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace taichi::sim {
@@ -203,6 +204,242 @@ TEST(EventQueueTest, CancelRescheduleChurnKeepsQueueConsistent) {
     ++popped;
   }
   EXPECT_EQ(popped, ids.size());
+}
+
+TEST(EventQueueTest, RescheduleMovesEventLater) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId a = q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.Reschedule(a, 30));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.IsPending(a));  // Same id stays valid: no generation bump.
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueTest, RescheduleMovesEventEarlier) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(20, [&] { order.push_back(2); });
+  EventId late = q.Schedule(30, [&] { order.push_back(1); });
+  EXPECT_TRUE(q.Reschedule(late, 10));
+  EXPECT_EQ(q.NextTime(), 10u);
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, RescheduleToEqualTimeOrdersAfterExistingEvents) {
+  // The contract that keeps Cancel+Schedule -> Reschedule conversions
+  // byte-identical: a re-keyed event gets a fresh seq, so at an equal
+  // timestamp it fires after everything already scheduled there — exactly
+  // where a newly scheduled replacement would land.
+  EventQueue q;
+  std::vector<int> order;
+  EventId first = q.Schedule(5, [&] { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(q.Reschedule(first, 5));
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 0}));
+}
+
+TEST(EventQueueTest, RescheduleDeadIdReturnsFalse) {
+  EventQueue q;
+  EventId fired = q.Schedule(1, [] {});
+  q.PopNext();
+  EXPECT_FALSE(q.Reschedule(fired, 10));
+  EventId cancelled = q.Schedule(2, [] {});
+  q.Cancel(cancelled);
+  EXPECT_FALSE(q.Reschedule(cancelled, 10));
+  EXPECT_FALSE(q.Reschedule(kInvalidEventId, 10));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RepeatingEventFiresAtEveryPeriodWithOneId) {
+  EventQueue q;
+  int hits = 0;
+  EventId id = q.ScheduleRepeating(10, 10, [&] { ++hits; });
+  std::vector<SimTime> times;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(q.empty());
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_TRUE(fired.repeating);
+    EXPECT_EQ(fired.id, id);
+    times.push_back(fired.when);
+    fired.fn();
+    q.RestoreRepeating(fired.id, std::move(fired.fn));
+  }
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30, 40}));
+  EXPECT_TRUE(q.IsPending(id));
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RepeatingReKeySeqIsAssignedAtPop) {
+  // The re-key happens at pop, BEFORE the callback body runs: the next
+  // firing orders ahead of events the callback schedules at the same time.
+  // That matches a loop that re-arms at the top of its callback (the kernel
+  // tick re-armed before any preemption scheduling).
+  EventQueue q;
+  std::vector<int> order;
+  EventId rep = q.ScheduleRepeating(10, 10, [&] { order.push_back(0); });
+  EventQueue::Fired fired = q.PopNext();  // Fires at 10; re-keyed to 20.
+  fired.fn();
+  q.Schedule(20, [&] { order.push_back(1); });  // Scheduled "inside" the callback.
+  q.RestoreRepeating(fired.id, std::move(fired.fn));
+  fired = q.PopNext();
+  EXPECT_EQ(fired.when, 20u);
+  EXPECT_EQ(fired.id, rep);  // The repeating event's earlier seq wins.
+  fired.fn();
+  q.Cancel(rep);
+  q.PopNext().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1}));
+}
+
+TEST(EventQueueTest, RescheduleAtBottomRestoresSelfRescheduleOrder) {
+  // A loop that used to re-arm at the BOTTOM of its callback (arrival
+  // processes) keeps its old equal-time order by ending the callback with
+  // Reschedule: the fresh seq lands after the callback's own schedules,
+  // exactly where the old self-Schedule's seq landed.
+  EventQueue q;
+  std::vector<int> order;
+  EventId rep = q.ScheduleRepeating(10, 10, [&] { order.push_back(0); });
+  EventQueue::Fired fired = q.PopNext();  // Fires at 10; re-keyed to 20.
+  fired.fn();
+  q.Schedule(20, [&] { order.push_back(1); });  // The callback's side effect.
+  EXPECT_TRUE(q.Reschedule(rep, 20));           // Bottom re-arm, fresh seq.
+  q.RestoreRepeating(fired.id, std::move(fired.fn));
+  fired = q.PopNext();
+  EXPECT_EQ(fired.when, 20u);
+  fired.fn();  // The one-shot now fires first...
+  fired = q.PopNext();
+  EXPECT_EQ(fired.id, rep);  // ...and the repeating event after it.
+  fired.fn();
+  q.Cancel(rep);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(EventQueueTest, CancelDuringOwnCallbackEndsRepeatingCycle) {
+  EventQueue q;
+  int hits = 0;
+  EventId id = kInvalidEventId;
+  id = q.ScheduleRepeating(5, 5, [&] {
+    ++hits;
+    if (hits == 2) {
+      EXPECT_TRUE(q.Cancel(id));
+    }
+  });
+  for (int rounds = 0; rounds < 10 && !q.empty(); ++rounds) {
+    EventQueue::Fired fired = q.PopNext();
+    fired.fn();
+    q.RestoreRepeating(fired.id, std::move(fired.fn));
+  }
+  EXPECT_EQ(hits, 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.IsPending(id));
+}
+
+TEST(EventQueueTest, RescheduleDuringOwnCallbackOverridesPeriod) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  EventId id = kInvalidEventId;
+  id = q.ScheduleRepeating(10, 10, [&] {
+    // fire_times is recorded before the callback runs, so size()==2 means
+    // this is the second firing (at t=20).
+    if (fire_times.size() == 2) {
+      EXPECT_TRUE(q.Reschedule(id, fire_times.back() + 100));
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    EventQueue::Fired fired = q.PopNext();
+    fire_times.push_back(fired.when);
+    fired.fn();
+    q.RestoreRepeating(fired.id, std::move(fired.fn));
+  }
+  q.Cancel(id);
+  // Second firing pushed the third out to 20 + 100.
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20, 120}));
+}
+
+TEST(EventQueueTest, ShrinkToFitReleasesTrailingSlotsAndKeepsLiveOnes) {
+  EventQueue q;
+  // A survivor in the low slot range: shrink must not disturb it. (Scheduled
+  // first so the burst occupies the trailing slots the trim can release.)
+  bool survivor_fired = false;
+  EventId survivor = q.Schedule(50, [&] { survivor_fired = true; });
+  std::vector<EventId> burst;
+  for (int i = 0; i < 2000; ++i) {
+    burst.push_back(q.Schedule(static_cast<SimTime>(100 + i), [] {}));
+  }
+  for (EventId id : burst) {
+    EXPECT_TRUE(q.Cancel(id));
+  }
+  const size_t before = q.slot_count();
+  ASSERT_GE(before, 2000u);
+  q.ShrinkToFit();
+  EXPECT_LT(q.slot_count(), before);
+  EXPECT_TRUE(q.IsPending(survivor));
+  q.PopNext().fn();
+  EXPECT_TRUE(survivor_fired);
+}
+
+TEST(EventQueueTest, ShrinkToFitSkipsBusyOrSmallQueues) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.Schedule(static_cast<SimTime>(i), [] {});
+  }
+  const size_t small = q.slot_count();
+  q.ShrinkToFit();  // Below the size floor: no-op.
+  EXPECT_EQ(q.slot_count(), small);
+
+  for (int i = 64; i < 2000; ++i) {
+    q.Schedule(static_cast<SimTime>(i), [] {});
+  }
+  const size_t busy = q.slot_count();
+  q.ShrinkToFit();  // Mostly pending: no-op.
+  EXPECT_EQ(q.slot_count(), busy);
+}
+
+TEST(EventQueueTest, StaleIdsStayDeadAcrossShrinkAndRegrow) {
+  EventQueue q;
+  std::vector<EventId> retired;
+  for (int i = 0; i < 1500; ++i) {
+    EventId id = q.Schedule(static_cast<SimTime>(i), [] {});
+    q.Cancel(id);
+    retired.push_back(id);
+  }
+  q.ShrinkToFit();
+  // Regrow over the dropped indices: generation floor keeps old ids dead.
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 1500; ++i) {
+    fresh.push_back(q.Schedule(static_cast<SimTime>(i), [] {}));
+  }
+  for (EventId id : retired) {
+    EXPECT_FALSE(q.IsPending(id));
+    EXPECT_FALSE(q.Cancel(id));
+    EXPECT_FALSE(q.Reschedule(id, 1));
+  }
+  for (EventId id : fresh) {
+    EXPECT_TRUE(q.IsPending(id));
+  }
+}
+
+TEST(EventQueueTest, MoveOnlyCaptureSchedules) {
+  EventQueue q;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  q.Schedule(1, [p = std::move(owned), &got] { got = *p + 1; });
+  q.PopNext().fn();
+  EXPECT_EQ(got, 42);
 }
 
 TEST(EventQueueTest, StressManyEventsStayOrdered) {

@@ -1,0 +1,137 @@
+#include "src/sim/inline_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace taichi::sim {
+namespace {
+
+TEST(InlineCallbackTest, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  InlineCallback null_cb(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_cb));
+}
+
+TEST(InlineCallbackTest, InvokesCapturedLambda) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this; the event queue must.
+  auto owned = std::make_unique<int>(41);
+  int result = 0;
+  InlineCallback cb([p = std::move(owned), &result] { result = *p + 1; });
+  InlineCallback moved(std::move(cb));
+  moved();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(InlineCallbackTest, NonTrivialCaptureDestroyedExactlyOnce) {
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  {
+    InlineCallback cb([keep = std::move(tracked)] { (void)*keep; });
+    EXPECT_EQ(watch.use_count(), 1);
+    InlineCallback moved(std::move(cb));
+    EXPECT_EQ(watch.use_count(), 1);  // Moved, not copied.
+    moved();
+    EXPECT_EQ(watch.use_count(), 1);  // Invocation does not destroy.
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallbackTest, AssignNullptrDestroysCapture) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  InlineCallback cb([keep = std::move(tracked)] { (void)keep; });
+  cb = nullptr;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallbackTest, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  // Exceeds kInlineBytes: must heap-box, and moves must transfer the box.
+  std::array<uint64_t, 32> big{};
+  static_assert(sizeof(big) > InlineCallback::kInlineBytes);
+  big[0] = 5;
+  big[31] = 37;
+  uint64_t sum = 0;
+  InlineCallback cb([big, &sum] { sum = big[0] + big[31]; });
+  InlineCallback moved(std::move(cb));
+  EXPECT_FALSE(static_cast<bool>(cb));
+  moved();
+  EXPECT_EQ(sum, 42u);
+}
+
+TEST(InlineCallbackTest, OversizedNonTrivialCaptureDestroyedExactlyOnce) {
+  auto tracked = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = tracked;
+  {
+    std::array<uint64_t, 32> pad{};
+    InlineCallback cb([keep = std::move(tracked), pad] { (void)*keep; (void)pad; });
+    EXPECT_EQ(watch.use_count(), 1);
+    InlineCallback moved(std::move(cb));
+    moved();
+    EXPECT_EQ(watch.use_count(), 1);
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallbackTest, HotPathCapturesStayInline) {
+  // The captures the simulator schedules millions of times per second must
+  // fit the inline buffer; this is the compile-time contract behind the
+  // zero-allocation guarantee (see bench_micro's allocation hook).
+  struct PacketShapedCapture {
+    void* self;
+    unsigned char packet[64];  // sizeof(hw::IoPacket)
+    uint32_t queue;
+    uint64_t now;
+  };
+  static_assert(sizeof(PacketShapedCapture) <= InlineCallback::kInlineBytes);
+  struct KernelShapedCapture {
+    void* self;
+    int id;
+    bool timeout;
+  };
+  static_assert(sizeof(KernelShapedCapture) <= InlineCallback::kInlineBytes);
+}
+
+TEST(InlineCallbackTest, SelfRescheduleStyleReuse) {
+  // The repeating-timer pattern: invoke, move back, invoke again.
+  int hits = 0;
+  InlineCallback slot([&hits] { ++hits; });
+  for (int i = 0; i < 3; ++i) {
+    InlineCallback fired(std::move(slot));
+    fired();
+    slot = std::move(fired);
+  }
+  EXPECT_EQ(hits, 3);
+}
+
+}  // namespace
+}  // namespace taichi::sim

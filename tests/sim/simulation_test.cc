@@ -99,6 +99,110 @@ TEST(SimulationTest, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_EQ(when, 0u);
 }
 
+TEST(SimulationTest, ScheduleRepeatingFiresEveryPeriodUntilCancelled) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  EventId id = sim.ScheduleRepeating(Micros(10), [&] { fires.push_back(sim.Now()); });
+  sim.RunFor(Micros(35));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Micros(10), Micros(20), Micros(30)}));
+  EXPECT_TRUE(sim.IsPending(id));
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunFor(Micros(100));
+  EXPECT_EQ(fires.size(), 3u);  // Dead after Cancel.
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, ScheduleRepeatingWithFirstDelay) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  EventId id = sim.ScheduleRepeating(Micros(3), Micros(10), [&] {
+    fires.push_back(sim.Now());
+  });
+  sim.RunFor(Micros(25));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Micros(3), Micros(13), Micros(23)}));
+  sim.Cancel(id);
+}
+
+TEST(SimulationTest, RepeatingEventCanCancelItself) {
+  Simulation sim;
+  int hits = 0;
+  EventId id = kInvalidEventId;
+  id = sim.ScheduleRepeating(Micros(1), [&] {
+    if (++hits == 3) {
+      sim.Cancel(id);
+    }
+  });
+  sim.RunFor(Millis(1));
+  EXPECT_EQ(hits, 3);
+  EXPECT_FALSE(sim.IsPending(id));
+}
+
+TEST(SimulationTest, RepeatingEventCanRescheduleItself) {
+  // The arrival-process pattern: a repeating event that re-keys itself with
+  // a freshly drawn gap at the end of each callback.
+  Simulation sim;
+  std::vector<SimTime> fires;
+  EventId id = kInvalidEventId;
+  Duration gap = Micros(1);
+  id = sim.ScheduleRepeating(gap, gap, [&] {
+    fires.push_back(sim.Now());
+    gap *= 2;
+    sim.Reschedule(id, gap);
+  });
+  sim.RunFor(Micros(16));
+  // 1, +2 -> 3, +4 -> 7, +8 -> 15: doubling gaps, one slot, one closure.
+  EXPECT_EQ(fires, (std::vector<SimTime>{Micros(1), Micros(3), Micros(7), Micros(15)}));
+  sim.Cancel(id);
+}
+
+TEST(SimulationTest, RescheduleDefersAPendingEvent) {
+  Simulation sim;
+  SimTime fired_at = 0;
+  EventId id = sim.Schedule(Micros(5), [&] { fired_at = sim.Now(); });
+  EXPECT_TRUE(sim.Reschedule(id, Micros(50)));
+  sim.Run();
+  EXPECT_EQ(fired_at, Micros(50));
+  EXPECT_FALSE(sim.Reschedule(id, Micros(1)));  // Already fired.
+}
+
+TEST(SimulationTest, AtInThePastDies) {
+  Simulation sim;
+  sim.Schedule(Micros(10), [] {});
+  sim.RunFor(Micros(10));
+  ASSERT_EQ(sim.Now(), Micros(10));
+  // Scheduling behind the clock is a model bug: TAICHI_ERROR + assert.
+  EXPECT_DEATH(sim.At(Micros(5), [] {}), "schedule into the past");
+}
+
+TEST(SimulationTest, AtNowIsFine) {
+  Simulation sim;
+  sim.Schedule(Micros(2), [] {});
+  sim.RunFor(Micros(2));
+  bool ran = false;
+  sim.At(Micros(2), [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, ShrinkEventPoolReleasesBurstMemory) {
+  Simulation sim;
+  std::vector<EventId> burst;
+  for (int i = 0; i < 4096; ++i) {
+    burst.push_back(sim.Schedule(Micros(1) + i, [] {}));
+  }
+  for (EventId id : burst) {
+    sim.Cancel(id);
+  }
+  const size_t before = sim.event_pool_slots();
+  sim.ShrinkEventPool();
+  EXPECT_LT(sim.event_pool_slots(), before);
+  // The queue still works after shrinking.
+  bool ran = false;
+  sim.Schedule(Micros(1), [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
 TEST(DurationTest, UnitHelpers) {
   EXPECT_EQ(Micros(1), 1000u);
   EXPECT_EQ(Millis(1), 1000u * 1000u);
