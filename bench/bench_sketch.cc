@@ -1,0 +1,242 @@
+// Sketch accuracy and throughput at scale: drives one obs::FlowMonitor with
+// a deterministic skewed stream over >= 1M distinct flows, then checks the
+// properties the observability layer sells — top-16 heavy-hitter recall,
+// overestimate-only count-min point queries, HyperLogLog error inside its
+// 3-sigma bound — and gates the per-packet update path at zero steady-state
+// heap allocations.
+//
+// Output: a human-readable table; `--json <path>` writes the deterministic
+// accuracy report (same seed, same bytes — CI archives it); `--perf-json
+// <path>` writes a wall-clock sidecar (updates/sec, alloc counts) that is
+// host-dependent by nature and kept out of the main report. Exit code is
+// nonzero when any gate fails, so CI can run this binary directly.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/obs/flow_monitor.h"
+#include "src/obs/sketch/sketch_hash.h"
+
+// Global allocation counter, as in bench_micro: the OnPacket hot loop below
+// must not allocate once the monitor is constructed.
+static std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace taichi;
+
+namespace {
+
+constexpr uint32_t kDistinct = 1u << 20;  // 1,048,576 flows, every one seen.
+constexpr uint64_t kSkewedPackets = 4u << 20;  // Heavy traffic on top.
+constexpr size_t kTopK = 16;
+
+obs::FlowKey FlowOfRank(uint32_t rank) {
+  obs::FlowKey k;
+  k.src_ip = 0x0a000000u | (rank & 0xffffffu);
+  k.dst_ip = 0x0a800000u | (rank >> 24);
+  k.src_port = static_cast<uint16_t>(1024 + rank % 60000);
+  k.dst_port = 443;
+  k.proto = obs::kProtoTcp;
+  return k;
+}
+
+// Counter-hash Zipf-ish rank, the same synthesis the dp::OpenLoopSource
+// uses: no RNG state, fully determined by the packet index.
+uint32_t SkewedRank(uint64_t n, double skew) {
+  const uint64_t h = obs::sketch::Mix64(n ^ 0x57e7c4u ^ 0x9e3779b97f4a7c15ULL);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double r =
+      std::pow(static_cast<double>(kDistinct), std::pow(u, skew));
+  uint64_t rank = r < 1.0 ? 0 : static_cast<uint64_t>(r) - 1;
+  return static_cast<uint32_t>(rank >= kDistinct ? kDistinct - 1 : rank);
+}
+
+uint32_t BytesOf(uint32_t rank, uint64_t n) {
+  return 64 + static_cast<uint32_t>((rank ^ n) % 1400);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string perf_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-json") == 0) {
+      perf_path = argv[i + 1];
+    }
+  }
+
+  bench::PrintHeader("bench_sketch",
+                     "flow sketch accuracy + zero-alloc update gate");
+
+  obs::FlowMonitor monitor((obs::FlowMonitorConfig{}));
+  std::vector<uint64_t> truth(kDistinct, 0);
+
+  // Phase 1 — coverage: every flow appears once, guaranteeing >= 1M distinct.
+  for (uint32_t rank = 0; rank < kDistinct; ++rank) {
+    const uint32_t bytes = BytesOf(rank, rank);
+    truth[rank] += bytes;
+    monitor.OnPacket(FlowOfRank(rank), bytes);
+  }
+  // Phase 2 — skew: heavy traffic concentrated on the low ranks, so a small
+  // set of elephants emerges from a sea of single-packet mice.
+  for (uint64_t n = 0; n < kSkewedPackets; ++n) {
+    const uint32_t rank = SkewedRank(n, /*skew=*/1.3);
+    const uint32_t bytes = BytesOf(rank, n);
+    truth[rank] += bytes;
+    monitor.OnPacket(FlowOfRank(rank), bytes);
+  }
+  const uint64_t total_packets = kDistinct + kSkewedPackets;
+
+  // --- Heavy-hitter recall ------------------------------------------------
+  std::vector<uint32_t> order(kDistinct);
+  for (uint32_t i = 0; i < kDistinct; ++i) {
+    order[i] = i;
+  }
+  std::partial_sort(order.begin(), order.begin() + kTopK, order.end(),
+                    [&](uint32_t a, uint32_t b) { return truth[a] > truth[b]; });
+  const auto reported = monitor.TopK(kTopK);
+  size_t hits = 0;
+  for (const auto& e : reported) {
+    for (size_t t = 0; t < kTopK; ++t) {
+      if (e.key == FlowOfRank(order[t])) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double recall = static_cast<double>(hits) / kTopK;
+
+  // --- Count-min one-sided error ------------------------------------------
+  // Every 4096th flow plus the true top-K: the estimate must never fall
+  // below the truth.
+  uint64_t cms_violations = 0;
+  uint64_t cms_overestimate_sum = 0;
+  uint64_t cms_checked = 0;
+  auto check_cms = [&](uint32_t rank) {
+    const uint64_t est = monitor.Query(FlowOfRank(rank)).bytes;
+    ++cms_checked;
+    if (est < truth[rank]) {
+      ++cms_violations;
+    } else {
+      cms_overestimate_sum += est - truth[rank];
+    }
+  };
+  for (uint32_t rank = 0; rank < kDistinct; rank += 4096) {
+    check_cms(rank);
+  }
+  for (size_t t = 0; t < kTopK; ++t) {
+    check_cms(order[t]);
+  }
+
+  // --- HyperLogLog error ---------------------------------------------------
+  const double hll_est = monitor.DistinctFlows();
+  const double hll_rel_err =
+      std::abs(hll_est - kDistinct) / static_cast<double>(kDistinct);
+  const double hll_bound = 3.0 * monitor.hll().ErrorBound();
+
+  // --- Steady-state throughput + alloc gate --------------------------------
+  // Replays a slice of the skewed stream against the warm monitor: every
+  // structure is at capacity, so this is the long-run per-packet cost.
+  constexpr uint64_t kHotUpdates = 1u << 20;
+  const uint64_t alloc0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t n = 0; n < kHotUpdates; ++n) {
+    const uint32_t rank = SkewedRank(n, /*skew=*/1.3);
+    monitor.OnPacket(FlowOfRank(rank), BytesOf(rank, n));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t hot_allocs = g_allocs.load(std::memory_order_relaxed) - alloc0;
+  const double hot_secs = std::chrono::duration<double>(t1 - t0).count();
+  const double updates_per_sec = static_cast<double>(kHotUpdates) / hot_secs;
+
+  std::printf("stream: %llu packets over %u distinct flows\n",
+              static_cast<unsigned long long>(total_packets + kHotUpdates),
+              kDistinct);
+  std::printf("top-%zu recall:            %.3f (gate >= 0.9)\n", kTopK, recall);
+  std::printf("cms violations:           %llu / %llu point queries (gate 0)\n",
+              static_cast<unsigned long long>(cms_violations),
+              static_cast<unsigned long long>(cms_checked));
+  std::printf("cms mean overestimate:    %.1f bytes/flow\n",
+              static_cast<double>(cms_overestimate_sum) /
+                  static_cast<double>(cms_checked - cms_violations));
+  std::printf("hll estimate:             %.0f (true %u, rel err %.4f, 3-sigma %.4f)\n",
+              hll_est, kDistinct, hll_rel_err, hll_bound);
+  std::printf("heavy-hitter evictions:   %llu\n",
+              static_cast<unsigned long long>(monitor.topk().evictions()));
+  std::printf("hot loop:                 %.1f M updates/sec, %llu allocs (gate 0)\n",
+              updates_per_sec / 1e6, static_cast<unsigned long long>(hot_allocs));
+
+  bench::JsonReport report("bench_sketch", argc, argv);
+  report.Config("distinct_flows", static_cast<int64_t>(kDistinct));
+  report.Config("skewed_packets", static_cast<int64_t>(kSkewedPackets));
+  report.Config("top_k", static_cast<int64_t>(kTopK));
+  report.Config("cms_width", static_cast<int64_t>(obs::FlowMonitorConfig{}.cms_width));
+  report.Config("cms_depth", static_cast<int64_t>(obs::FlowMonitorConfig{}.cms_depth));
+  report.Config("hll_precision", static_cast<int64_t>(obs::FlowMonitorConfig{}.hll_precision));
+  report.Config("topk_capacity", static_cast<int64_t>(obs::FlowMonitorConfig{}.topk_capacity));
+  report.Metric("topk_recall", recall);
+  report.Metric("cms_violations", static_cast<int64_t>(cms_violations));
+  report.Metric("cms_point_queries", static_cast<int64_t>(cms_checked));
+  report.Metric("hll_estimate", hll_est);
+  report.Metric("hll_rel_error", hll_rel_err);
+  report.Metric("hll_3sigma_bound", hll_bound);
+  report.Metric("heavy_evictions", static_cast<int64_t>(monitor.topk().evictions()));
+  if (!report.Write()) {
+    return 1;
+  }
+  bench::JsonReport perf("bench_sketch_perf", perf_path);
+  perf.Config("hot_updates", static_cast<int64_t>(kHotUpdates));
+  perf.Metric("updates_per_sec", updates_per_sec);
+  perf.Metric("steady_state_allocs", static_cast<int64_t>(hot_allocs));
+  if (!perf.Write()) {
+    return 1;
+  }
+
+  bool failed = false;
+  if (recall < 0.9) {
+    std::fprintf(stderr, "FAIL: top-%zu recall %.3f < 0.9\n", kTopK, recall);
+    failed = true;
+  }
+  if (cms_violations != 0) {
+    std::fprintf(stderr, "FAIL: %llu count-min underestimates (one-sided error broken)\n",
+                 static_cast<unsigned long long>(cms_violations));
+    failed = true;
+  }
+  if (hll_rel_err > hll_bound) {
+    std::fprintf(stderr, "FAIL: hll error %.4f outside 3-sigma bound %.4f\n",
+                 hll_rel_err, hll_bound);
+    failed = true;
+  }
+  if (hot_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations in the steady-state update loop "
+                 "(expected 0; a sketch structure is growing after warm-up)\n",
+                 static_cast<unsigned long long>(hot_allocs));
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string wavelog_path;
   std::string perf_json_path;
+  std::string flows_json_path;
   int threads = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string arg = argv[i];
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
       wavelog_path = argv[i + 1];
     } else if (arg == "--perf-json") {
       perf_json_path = argv[i + 1];
+    } else if (arg == "--flows-json") {
+      flows_json_path = argv[i + 1];
     } else if (arg == "--threads") {
       threads = std::atoi(argv[i + 1]);
     }
@@ -159,6 +162,28 @@ int main(int argc, char** argv) {
               after.fleet_value + kHostInstantiateMs,
               (after.fleet_value + kHostInstantiateMs) / kStartupSloMs, after.total_samples);
 
+  // Fleet-wide heavy hitters from the merged per-node DP sketches: the flows
+  // that burned the data-plane cycles during the rollout, named without any
+  // exact per-flow table existing anywhere. Stdout + the --flows-json
+  // sidecar only — the pinned --json report is unchanged.
+  const obs::FlowMonitor fleet_flows =
+      cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kDp);
+  std::printf("\nfleet DP flow telemetry: ~%.0f distinct flows, %llu packets\n",
+              fleet_flows.DistinctFlows(),
+              static_cast<unsigned long long>(fleet_flows.total_packets()));
+  {
+    sim::Table t({"Heavy flow (DP tap)", "MB", "kpkts", "share"});
+    const double total = static_cast<double>(fleet_flows.total_bytes());
+    for (const auto& e : fleet_flows.TopK(8)) {
+      t.AddRow({e.key.ToString(), sim::Table::Num(static_cast<double>(e.bytes) / 1e6, 1),
+                sim::Table::Num(static_cast<double>(e.packets) / 1e3, 1),
+                sim::Table::Num(total > 0 ? 100.0 * static_cast<double>(e.bytes) / total : 0.0,
+                                1) +
+                    "%"});
+    }
+    t.Print();
+  }
+
   bench::JsonReport json("fleet_rollout", argc, argv);
   json.Config("nodes", static_cast<int64_t>(kNodes));
   json.Config("density", static_cast<int64_t>(kDensity));
@@ -206,6 +231,24 @@ int main(int argc, char** argv) {
     for (const fleet::Rollout::Event& e : rollout.history()) {
       std::fprintf(f, "[%8.1f ms] %s\n", sim::ToSeconds(e.at) * 1e3, e.what.c_str());
     }
+    std::fclose(f);
+  }
+  if (!flows_json_path.empty()) {
+    // Flow observability sidecar: the merged fleet sketches per tap. Fully
+    // deterministic (sketches are seeded and merge is order-independent),
+    // but kept out of the pinned --json report so its golden stays stable
+    // as sketch telemetry evolves.
+    std::string out = "{\n\"rx\": " +
+                      cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kRx).ToJson(8) +
+                      ",\n\"dp\": " + fleet_flows.ToJson(8) + ",\n\"tx\": " +
+                      cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kTx).ToJson(8) +
+                      "\n}\n";
+    std::FILE* f = std::fopen(flows_json_path.c_str(), "w");
+    if (f == nullptr) {
+      TAICHI_ERROR(0, "bench: cannot open '%s' for writing", flows_json_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
   }
   if (!perf_json_path.empty()) {

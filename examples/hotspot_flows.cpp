@@ -1,0 +1,106 @@
+// Flow observability walkthrough: who is burning the DP cycles behind a
+// hotspot?
+//
+// Builds a 3-node cluster, skews the background traffic so one node carries
+// far more flows than the rest, and lets the SLO monitor flag the hotspot.
+// The interesting part is the attribution: every flow named below comes out
+// of the constant-space sketches on the packet path (count-min + space-saving
+// heavy hitters + HyperLogLog) — there is no exact per-flow table anywhere,
+// so this works unchanged at millions of flows.
+//
+//   $ ./examples/hotspot_flows
+#include <cstdio>
+
+#include "src/fleet/cluster.h"
+#include "src/fleet/slo_monitor.h"
+#include "src/sim/table.h"
+
+using namespace taichi;
+
+namespace {
+
+void PrintHeavy(const char* title, const std::vector<fleet::SloMonitor::HeavyFlow>& heavy) {
+  std::printf("%s\n", title);
+  sim::Table t({"Flow", "KB", "pkts", "share"});
+  for (const fleet::SloMonitor::HeavyFlow& f : heavy) {
+    t.AddRow({f.key.ToString(), sim::Table::Num(static_cast<double>(f.bytes) / 1e3, 1),
+              std::to_string(f.packets), sim::Table::Num(100.0 * f.share, 1) + "%"});
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hotspot flow attribution from packet-path sketches\n\n");
+
+  fleet::ClusterConfig ccfg;
+  ccfg.num_nodes = 3;
+  ccfg.seed = 11;
+  // Node 2 runs a heavier DP mix than its peers: more distinct flows and a
+  // flatter skew, so its load is spread across many medium flows with a few
+  // clear elephants on top.
+  ccfg.tweak = [](int node, exp::TestbedConfig& cfg) {
+    if (node == 2) {
+      cfg.background_flow_count = 512;
+      cfg.background_flow_skew = 1.1;
+    } else {
+      cfg.background_flow_count = 64;
+      cfg.background_flow_skew = 1.5;
+    }
+  };
+  fleet::Cluster cluster(ccfg);
+
+  // Production-shaped bursty traffic per node; the per-node flow profile
+  // from the tweak above shapes the 5-tuples each source synthesizes.
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).StartBackgroundBurstyLoad(i == 2 ? 0.6 : 0.3, 1024);
+  }
+  cluster.RunFor(sim::Millis(50));
+
+  // Per-node flow telemetry straight from the taps.
+  std::printf("--- per-node DP taps after 50 ms ---\n");
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const obs::FlowMonitor& dp = cluster.node(i).flow_dp();
+    std::printf("  %s: ~%.0f distinct flows, %llu packets, %llu heavy-table evictions\n",
+                cluster.node_name(i).c_str(), dp.DistinctFlows(),
+                static_cast<unsigned long long>(dp.total_packets()),
+                static_cast<unsigned long long>(dp.topk().evictions()));
+  }
+
+  // An SLO hotspot on node 2 (synthesized latency samples — the point here
+  // is the flow attribution, not the latency model).
+  sim::Summary lat[3];
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster.observability(i).metrics.AddSummary("demo.lat_ms", &lat[i]);
+  }
+  for (int s = 0; s < 8; ++s) {
+    lat[0].Add(10);
+    lat[1].Add(12);
+    lat[2].Add(55);  // Node 2 is 4-5x the fleet median: a hotspot.
+  }
+  fleet::SloConfig slo;
+  slo.metric = "demo.lat_ms";
+  slo.percentile = 50.0;
+  slo.threshold = 100.0;
+  slo.min_samples = 4;
+  slo.heavy_hitters = 4;
+  fleet::SloMonitor monitor(&cluster, slo);
+  fleet::SloMonitor::Report r = monitor.Observe();
+
+  std::printf("\n--- hotspot report ---\n");
+  for (int id : r.hotspots) {
+    std::printf("hotspot: %s (p50 %.1f ms vs fleet %.1f ms)\n",
+                cluster.node_name(static_cast<size_t>(id)).c_str(),
+                r.nodes[static_cast<size_t>(id)].value, r.fleet_value);
+    PrintHeavy("top flows on its DP tap:", r.nodes[static_cast<size_t>(id)].heavy);
+  }
+  if (!r.fleet_heavy.empty()) {
+    PrintHeavy("\nfleet-wide heavy flows (merged sketches):", r.fleet_heavy);
+  }
+
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).StopBackgroundLoad();
+  }
+  return 0;
+}

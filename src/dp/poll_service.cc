@@ -99,6 +99,9 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
       packets_processed_.Inc();
       bytes_processed_.Inc(pkt.size_bytes);
       burst_bytes += pkt.size_bytes;
+      if (flow_monitor_ != nullptr) {
+        flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
+      }
       if (sink_) {
         sink_(pkt, now);
       }

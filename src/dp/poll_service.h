@@ -13,6 +13,7 @@
 
 #include "src/hw/io_packet.h"
 #include "src/hw/ring.h"
+#include "src/obs/flow_monitor.h"
 #include "src/os/behaviors.h"
 #include "src/os/kernel.h"
 #include "src/sim/stats.h"
@@ -92,6 +93,12 @@ class PollService : public os::Behavior {
 
   void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
+  // DP flow telemetry tap: every packet whose burst completed is recorded
+  // (O(1), allocation-free). This is the tap SLO hotspot attribution reads —
+  // it measures work the DP CPUs actually performed, not offered load. The
+  // monitor must outlive the service.
+  void set_flow_monitor(obs::FlowMonitor* monitor) { flow_monitor_ = monitor; }
+
   // Registers as "<prefix>.*"; Testbed uses "dp.svc<cpu>".
   void RegisterMetrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
     registry.AddCounter(prefix + ".packets", &packets_processed_);
@@ -114,6 +121,7 @@ class PollService : public os::Behavior {
   os::Task* task_ = nullptr;
   core::SwWorkloadProbe* probe_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::FlowMonitor* flow_monitor_ = nullptr;
 
   std::vector<hw::IoPacket> inflight_;
   bool counting_done_ = false;  // Finished an empty-poll counting window.

@@ -1,6 +1,9 @@
 #include "src/dp/sources.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "src/obs/sketch/sketch_hash.h"
 
 namespace taichi::dp {
 
@@ -25,6 +28,30 @@ double OpenLoopSource::CurrentRate() const {
     return config_.rate_pps * config_.burst_multiplier;
   }
   return config_.rate_pps;
+}
+
+obs::FlowKey OpenLoopSource::MakeFlowKey(uint64_t packet_index) const {
+  uint64_t rank = 0;
+  if (config_.flow_count > 1) {
+    // Counter-hash draw: uniform u from a mix of (source flow id, packet
+    // index), mapped through rank = floor(N^(u^skew)) - 1 so rank 0 takes
+    // the largest share and the tail thins out Zipf-style. No Rng draws.
+    const uint64_t h = obs::sketch::Mix64(
+        obs::sketch::Mix64(config_.flow ^ 0xf10f5ULL) ^ packet_index);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double n = static_cast<double>(config_.flow_count);
+    const double r = std::pow(n, std::pow(u, config_.flow_skew));
+    rank = std::min<uint64_t>(config_.flow_count - 1,
+                              static_cast<uint64_t>(r) - 1);
+  }
+  obs::FlowKey key;
+  key.src_ip = 0x0a000000u | static_cast<uint32_t>(rank & 0xffffffu);
+  key.dst_ip = 0x0a800000u | static_cast<uint32_t>(config_.flow & 0xffffu);
+  key.src_port = static_cast<uint16_t>(1024 + rank % 60000);
+  key.dst_port = config_.kind == hw::IoKind::kNetTx ? 80 : 443;
+  key.proto = config_.kind == hw::IoKind::kBlockIo ? obs::kProtoBlock
+                                                   : obs::kProtoTcp;
+  return key;
 }
 
 sim::Duration OpenLoopSource::NextGap() {
@@ -62,6 +89,7 @@ void OpenLoopSource::ScheduleNext() {
     pkt.queue = queue_;
     pkt.size_bytes = config_.size_bytes;
     pkt.flow = config_.flow;
+    pkt.flow_key = MakeFlowKey(pkt.id);
     pkt.user_tag = config_.user_tag;
     pkt.created = sim_->Now();
     injected_.Inc();

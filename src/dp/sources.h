@@ -23,6 +23,16 @@ struct OpenLoopConfig {
   uint64_t flow = 0;
   uint64_t user_tag = 0;  // Stamped on every generated packet.
 
+  // Synthetic 5-tuple population for the sketch observability layer. Each
+  // packet's FlowKey is drawn from `flow_count` distinct flows with a
+  // Zipf-like skew (low ranks get most packets; higher `flow_skew` is more
+  // skewed). The draw hashes the packet counter — it consumes NO Rng state
+  // and injects NO timing, so enabling many flows changes telemetry only,
+  // never the schedule. flow_count <= 1 pins the single key derived from
+  // `flow`. RSS queueing still keys on `flow`, untouched.
+  uint32_t flow_count = 1;
+  double flow_skew = 1.3;
+
   // MMPP: alternating low/high states; the high state multiplies the rate.
   double burst_multiplier = 8.0;
   sim::Duration burst_mean = sim::Millis(2);
@@ -65,6 +75,7 @@ class OpenLoopSource {
   void ScheduleNext();
   double CurrentRate() const;
   sim::Duration NextGap();
+  obs::FlowKey MakeFlowKey(uint64_t packet_index) const;
 
   sim::Simulation* sim_;
   hw::Accelerator* accel_;

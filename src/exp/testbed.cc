@@ -32,12 +32,16 @@ const char* ToString(Mode mode) {
 }
 
 Testbed::Testbed(TestbedConfig config)
-    : config_(config), sim_(config.seed), rng_(config.seed ^ 0x7a1c41) {
+    : config_(config), sim_(config.seed), rng_(config.seed ^ 0x7a1c41),
+      flow_rx_(config.flow_monitor), flow_dp_(config.flow_monitor),
+      flow_tx_(config.flow_monitor) {
   hw::MachineConfig mcfg;
   mcfg.num_cpus = config_.total_cpus;
   machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
   kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
 
+  machine_->nic().set_flow_monitor(&flow_tx_);
+  machine_->accelerator().set_flow_monitor(&flow_rx_);
   machine_->nic().set_sink([this](const hw::IoPacket& pkt) {
     auto it = wire_sinks_.find(OwnerOf(pkt.user_tag));
     if (it != wire_sinks_.end()) {
@@ -139,6 +143,7 @@ void Testbed::BuildServices() {
     }
     auto service = std::make_unique<dp::PollService>(cpu, scfg, policy);
     service->AttachRing(&machine_->accelerator().ring(queue));
+    service->set_flow_monitor(&flow_dp_);
     service->set_sink([this](const hw::IoPacket& pkt, sim::SimTime completed) {
       DispatchFromDp(pkt, completed);
     });
@@ -239,6 +244,8 @@ void Testbed::StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
     ocfg.process = process;
     ocfg.kind = hw::IoKind::kNetRx;
     ocfg.flow = i;
+    ocfg.flow_count = config_.background_flow_count;
+    ocfg.flow_skew = config_.background_flow_skew;
     ocfg.user_tag = Tag(kBackgroundOwner, i);
     auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
                                                     queues_[i], ocfg,
@@ -282,6 +289,8 @@ void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
     ocfg.calm_mean = calm_mean;
     ocfg.kind = hw::IoKind::kNetRx;
     ocfg.flow = i;
+    ocfg.flow_count = config_.background_flow_count;
+    ocfg.flow_skew = config_.background_flow_skew;
     ocfg.user_tag = Tag(kBackgroundOwner, i);
     auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
                                                     queues_[i], ocfg,
@@ -442,6 +451,9 @@ void Testbed::AttachObservability(obs::Observability* obs) {
   }
   device_manager_->RegisterMetrics(obs->metrics);
   monitor_lock_.RegisterMetrics(obs->metrics);
+  flow_rx_.RegisterMetrics(obs->metrics, "flows.rx.");
+  flow_dp_.RegisterMetrics(obs->metrics, "flows.dp.");
+  flow_tx_.RegisterMetrics(obs->metrics, "flows.tx.");
 }
 
 }  // namespace taichi::exp

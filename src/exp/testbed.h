@@ -25,6 +25,7 @@
 #include "src/dp/poll_service.h"
 #include "src/dp/sources.h"
 #include "src/hw/machine.h"
+#include "src/obs/flow_monitor.h"
 #include "src/obs/observability.h"
 #include "src/os/kernel.h"
 #include "src/sim/simulation.h"
@@ -63,6 +64,16 @@ struct TestbedConfig {
   bool spawn_monitors = true;
   cp::MonitorFleetConfig monitors;
   cp::VmStartupConfig vm_startup;
+
+  // Sketch-based flow telemetry: one config shared by the node's three taps
+  // (rx = accelerator ingress, dp = poll-service completions, tx = NIC
+  // port). The seed inside must stay the fleet-wide default or per-node
+  // monitors stop merging.
+  obs::FlowMonitorConfig flow_monitor;
+  // Flow-population synthesis for the background sources (OpenLoopConfig
+  // pass-through): distinct flows per source and Zipf-like skew.
+  uint32_t background_flow_count = 1;
+  double background_flow_skew = 1.3;
 
   // End-to-end path constants (calibrated so the baseline ping RTT lands
   // near Table 5's 26/30/38 us).
@@ -139,9 +150,27 @@ class Testbed {
                                        uint32_t size_bytes);
   void StopBackgroundLoad();
   double RateForUtilization(double utilization, uint32_t size_bytes) const;
+  // Flow-population synthesis for background sources started after this call
+  // (fleet::LoadGen pass-through). Telemetry-only: consumes no Rng state.
+  void SetBackgroundFlows(uint32_t flow_count, double flow_skew) {
+    config_.background_flow_count = flow_count;
+    config_.background_flow_skew = flow_skew;
+  }
 
   // Aggregate useful DP work time across services.
   sim::Duration TotalDpWork() const;
+
+  // --- Flow telemetry (constant-space sketches, see src/obs/flow_monitor.h)
+  // rx: every packet entering the accelerator; dp: every packet a poll
+  // service finished processing; tx: every packet serialized onto the wire.
+  // All three run unconditionally — the taps are O(1) and allocation-free —
+  // and merge across nodes (fleet::Cluster::MergedFlowMonitor).
+  obs::FlowMonitor& flow_rx() { return flow_rx_; }
+  obs::FlowMonitor& flow_dp() { return flow_dp_; }
+  obs::FlowMonitor& flow_tx() { return flow_tx_; }
+  const obs::FlowMonitor& flow_rx() const { return flow_rx_; }
+  const obs::FlowMonitor& flow_dp() const { return flow_dp_; }
+  const obs::FlowMonitor& flow_tx() const { return flow_tx_; }
 
   // Spawns the standard background CP fleet (monitors) for this mode.
   void SpawnBackgroundCp();
@@ -184,6 +213,9 @@ class Testbed {
   TestbedConfig config_;
   sim::Simulation sim_;
   sim::Rng rng_;
+  obs::FlowMonitor flow_rx_;
+  obs::FlowMonitor flow_dp_;
+  obs::FlowMonitor flow_tx_;
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<os::Kernel> kernel_;
   std::unique_ptr<core::TaiChi> taichi_;

@@ -112,6 +112,25 @@ sim::Summary Cluster::MergeSummaryMetric(const std::string& metric) const {
   return obs::MergeSummaries(parts);
 }
 
+obs::FlowMonitor Cluster::MergedFlowMonitor(FlowTap tap) const {
+  obs::FlowMonitor fleet(config_.node.flow_monitor);
+  for (const auto& node : nodes_) {
+    const exp::Testbed& bed = *node->bed;
+    switch (tap) {
+      case FlowTap::kRx:
+        fleet.Merge(bed.flow_rx());
+        break;
+      case FlowTap::kDp:
+        fleet.Merge(bed.flow_dp());
+        break;
+      case FlowTap::kTx:
+        fleet.Merge(bed.flow_tx());
+        break;
+    }
+  }
+  return fleet;
+}
+
 std::string Cluster::MergedTraceJson() const {
   std::vector<obs::TraceProcess> processes;
   processes.reserve(nodes_.size());

@@ -85,6 +85,15 @@ class Cluster {
   // without the metric contribute nothing.
   sim::Summary MergeSummaryMetric(const std::string& metric) const;
 
+  // Rolls every node's flow monitor for one tap (rx/dp/tx) into a single
+  // fleet-scope monitor: count-min cells add, HLL registers max, heavy-hitter
+  // tables union — so fleet distinct-flow counts and top-K come from the
+  // sketches alone, never an exact per-flow map. Nodes share sketch configs
+  // by construction; a tweak that broke that is refused per-sketch with a
+  // TAICHI_ERROR.
+  enum class FlowTap : uint8_t { kRx, kDp, kTx };
+  obs::FlowMonitor MergedFlowMonitor(FlowTap tap) const;
+
   // One Chrome trace with a process track group per node (pid = node index,
   // named after the node). All nodes share the simulated clock, so events
   // line up across processes in the viewer.

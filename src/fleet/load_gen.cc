@@ -35,6 +35,7 @@ void LoadGen::Start() {
           arrival_rngs_[i].LogNormal(config_.util_median, config_.util_sigma),
           config_.util_min, config_.util_max));
     }
+    bed.SetBackgroundFlows(config_.flow_count, config_.flow_skew);
     bed.StartBackgroundBurstyLoadPerCpu(utils, config_.pkt_bytes);
     if (config_.spawn_monitors) {
       bed.SpawnBackgroundCp();

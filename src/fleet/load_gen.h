@@ -24,6 +24,10 @@ struct LoadGenConfig {
   double util_min = 0.005;
   double util_max = 0.85;
   uint32_t pkt_bytes = 512;
+  // Flow population per source for the sketch telemetry (Zipf-like skew).
+  // Telemetry-only: flow synthesis consumes no Rng state and no sim time.
+  uint32_t flow_count = 256;
+  double flow_skew = 1.3;
 
   // Poisson VM-startup arrivals per node (50/s at 1x density, §6.6).
   bool vm_arrivals = true;

@@ -76,7 +76,35 @@ SloMonitor::Report SloMonitor::Evaluate(const std::vector<int>& subset, bool win
       report.hotspots.push_back(static_cast<int>(i));
     }
   }
+  AttributeHeavyFlows(&report);
   return report;
+}
+
+void SloMonitor::AttributeHeavyFlows(Report* report) const {
+  if (config_.heavy_hitters == 0 || report->hotspots.empty()) {
+    return;
+  }
+  // Per hotspot node: who is burning that node's DP cycles. Everything here
+  // comes out of the constant-space sketches — there is no exact per-flow
+  // table anywhere on the packet path.
+  for (int id : report->hotspots) {
+    const obs::FlowMonitor& mon = cluster_->node(static_cast<size_t>(id)).flow_dp();
+    const double total = static_cast<double>(mon.total_bytes());
+    for (const auto& e : mon.TopK(config_.heavy_hitters)) {
+      report->nodes[static_cast<size_t>(id)].heavy.push_back(
+          {e.key, e.bytes, e.packets,
+           total > 0 ? static_cast<double>(e.bytes) / total : 0.0});
+    }
+  }
+  // Fleet scope: the same question over the merged sketch, catching flows
+  // whose load is spread across nodes.
+  const obs::FlowMonitor fleet = cluster_->MergedFlowMonitor(Cluster::FlowTap::kDp);
+  const double fleet_total = static_cast<double>(fleet.total_bytes());
+  for (const auto& e : fleet.TopK(config_.heavy_hitters)) {
+    report->fleet_heavy.push_back(
+        {e.key, e.bytes, e.packets,
+         fleet_total > 0 ? static_cast<double>(e.bytes) / fleet_total : 0.0});
+  }
 }
 
 SloMonitor::Report SloMonitor::Observe(const std::vector<int>& subset) {

@@ -27,15 +27,30 @@ struct SloConfig {
   // value by this factor (with at least min_samples in the window).
   double hotspot_factor = 1.5;
   size_t min_samples = 5;
+  // Flows named per hotspot node (and fleet-wide) in the report, read from
+  // the DP-tap flow sketches — never an exact per-flow map. 0 disables.
+  size_t heavy_hitters = 4;
 };
 
 class SloMonitor {
  public:
+  // A heavy flow behind a hotspot: sketch-estimated bytes at the DP tap and
+  // the flow's share of that scope's total DP bytes.
+  struct HeavyFlow {
+    obs::FlowKey key;
+    uint64_t bytes = 0;
+    uint64_t packets = 0;
+    double share = 0.0;
+  };
+
   struct NodeStat {
     size_t samples = 0;   // Window sample count.
     double value = 0.0;   // Windowed percentile (0 when samples == 0).
     bool breach = false;
     bool hotspot = false;
+    // Hotspot nodes only: the top flows on this node's DP tap — who is
+    // actually burning the DP cycles behind the breach.
+    std::vector<HeavyFlow> heavy;
   };
 
   struct Report {
@@ -45,6 +60,9 @@ class SloMonitor {
     bool fleet_breach = false;
     std::vector<NodeStat> nodes;  // One entry per cluster node, always.
     std::vector<int> hotspots;    // Node ids, ascending.
+    // When any hotspot fired: top flows over the *merged* fleet DP sketch
+    // (Cluster::MergedFlowMonitor), for cross-node offenders.
+    std::vector<HeavyFlow> fleet_heavy;
   };
 
   struct Move {
@@ -75,6 +93,7 @@ class SloMonitor {
  private:
   Report Evaluate(const std::vector<int>& subset, bool windowed,
                   std::vector<size_t>* cursors) const;
+  void AttributeHeavyFlows(Report* report) const;
 
   Cluster* cluster_;
   SloConfig config_;

@@ -41,6 +41,9 @@ void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
   assert(queue < queues_.size());
   Queue& q = queues_[queue];
   ingressed_.Inc();
+  if (flow_monitor_ != nullptr) {
+    flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
+  }
 
   // Step 1 of the probe (Fig. 10): before preprocessing starts, look up the
   // destination CPU's state and raise the preemption IRQ if it is V-state.

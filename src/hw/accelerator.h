@@ -13,6 +13,7 @@
 #include "src/hw/hw_probe.h"
 #include "src/hw/io_packet.h"
 #include "src/hw/ring.h"
+#include "src/obs/flow_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulation.h"
@@ -50,6 +51,12 @@ class Accelerator {
   void set_probe(HwWorkloadProbe* probe) { probe_ = probe; }
   HwWorkloadProbe* probe() const { return probe_; }
 
+  // RX flow telemetry tap: every ingressed packet is recorded (O(1),
+  // allocation-free) before entering the pipeline — the "offered load" view,
+  // as opposed to the poll services' "work performed" view. The monitor must
+  // outlive the accelerator.
+  void set_flow_monitor(obs::FlowMonitor* monitor) { flow_monitor_ = monitor; }
+
   // A packet enters the SmartNIC bound for `queue`. Walks the probe check,
   // the preprocessing stage and the transfer stage, then publishes the
   // descriptor to the queue's ring.
@@ -85,6 +92,7 @@ class Accelerator {
   std::vector<Queue> queues_;
   HwWorkloadProbe* probe_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::FlowMonitor* flow_monitor_ = nullptr;
   sim::Counter ingressed_;
   sim::Counter published_;
   sim::Summary residency_us_;

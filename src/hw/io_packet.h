@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/obs/flow_key.h"
 #include "src/sim/time.h"
 
 namespace taichi::hw {
@@ -22,6 +23,7 @@ struct IoPacket {
   uint32_t queue = 0;          // eNIC queue the packet belongs to.
   uint32_t size_bytes = 64;    // Wire size for nets, block size for storage.
   uint64_t flow = 0;           // Flow/connection identity for RSS-style hashing.
+  obs::FlowKey flow_key;       // 5-tuple identity for the sketch telemetry taps.
   sim::SimTime created = 0;    // When the request entered the SmartNIC domain.
   sim::SimTime ring_push = 0;  // When the accelerator published it to the DP ring.
   uint64_t user_tag = 0;       // Opaque cookie for the workload that issued it.

@@ -15,6 +15,9 @@ void NicPort::Transmit(const IoPacket& pkt) {
   link_free_ = done;
   ++transmitted_;
   bytes_ += pkt.size_bytes;
+  if (flow_monitor_ != nullptr) {
+    flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
+  }
   if (!sink_) {
     return;
   }

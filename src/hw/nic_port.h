@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "src/hw/io_packet.h"
+#include "src/obs/flow_monitor.h"
 #include "src/sim/simulation.h"
 
 namespace taichi::hw {
@@ -23,6 +24,10 @@ class NicPort {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  // TX flow telemetry tap: every transmitted packet is recorded (O(1),
+  // allocation-free) before serialization. The monitor must outlive the port.
+  void set_flow_monitor(obs::FlowMonitor* monitor) { flow_monitor_ = monitor; }
+
   // Transmits a packet; it reaches the sink after serialization on the link
   // plus wire latency. Back-to-back packets queue behind each other.
   void Transmit(const IoPacket& pkt);
@@ -36,6 +41,7 @@ class NicPort {
   sim::Simulation* sim_;
   NicPortConfig config_;
   Sink sink_;
+  obs::FlowMonitor* flow_monitor_ = nullptr;
   sim::SimTime link_free_ = 0;
   uint64_t transmitted_ = 0;
   uint64_t bytes_ = 0;

@@ -1,0 +1,16 @@
+#include "src/obs/flow_key.h"
+
+#include <cstdio>
+
+namespace taichi::obs {
+
+std::string FlowKey::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u->%u.%u.%u.%u:%u/%u",
+                src_ip >> 24, (src_ip >> 16) & 0xff, (src_ip >> 8) & 0xff,
+                src_ip & 0xff, src_port, dst_ip >> 24, (dst_ip >> 16) & 0xff,
+                (dst_ip >> 8) & 0xff, dst_ip & 0xff, dst_port, proto);
+  return buf;
+}
+
+}  // namespace taichi::obs

@@ -1,0 +1,54 @@
+// The 5-tuple flow identity carried by every hw::IoPacket and consumed by
+// the sketch-based flow observability layer (obs::FlowMonitor).
+//
+// Lives in obs (not hw) because the sketches are the consumers and hw
+// already depends on obs; the struct is deliberately plain-old-data so a
+// packet copy stays a memcpy. Storage workloads reuse the tuple with proto
+// kProtoBlock and (volume, namespace) packed into the address fields.
+#ifndef SRC_OBS_FLOW_KEY_H_
+#define SRC_OBS_FLOW_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace taichi::obs {
+
+struct FlowKey {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  // The tuple packed into two words: every hash/compare in the sketch layer
+  // works on these, never on the struct bytes (padding must not leak in).
+  uint64_t PackHi() const {
+    return (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+  }
+  uint64_t PackLo() const {
+    return (static_cast<uint64_t>(src_port) << 24) |
+           (static_cast<uint64_t>(dst_port) << 8) | proto;
+  }
+
+  // Total order for deterministic tie-breaks and sorted exports.
+  bool operator<(const FlowKey& o) const {
+    if (PackHi() != o.PackHi()) {
+      return PackHi() < o.PackHi();
+    }
+    return PackLo() < o.PackLo();
+  }
+
+  // "10.0.0.1:80->10.0.0.2:443/6", the form reports and JSON exports use.
+  std::string ToString() const;
+};
+
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+// Storage I/O "flows" (block requests keyed by volume) reuse the tuple.
+inline constexpr uint8_t kProtoBlock = 254;
+
+}  // namespace taichi::obs
+
+#endif  // SRC_OBS_FLOW_KEY_H_

@@ -1,5 +1,6 @@
 #include "src/obs/json.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace taichi::obs {
@@ -35,5 +36,20 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonQuote(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonNum(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
 
 }  // namespace taichi::obs

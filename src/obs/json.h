@@ -16,6 +16,12 @@ std::string JsonEscape(const std::string& s);
 // JsonEscape() wrapped in double quotes — a complete JSON string token.
 std::string JsonQuote(const std::string& s);
 
+// Numbers in exports: plain, locale-independent, finite ("%.9g"; non-finite
+// values render as 0). One formatter means one definition of a JSON number
+// across metrics snapshots, sketch exports and bench reports.
+std::string JsonNum(double v);
+std::string JsonNum(uint64_t v);
+
 }  // namespace taichi::obs
 
 #endif  // SRC_OBS_JSON_H_

@@ -10,21 +10,9 @@
 namespace taichi::obs {
 namespace {
 
-// Numbers in exports: plain, locale-independent, finite.
-std::string Num(double v) {
-  if (!std::isfinite(v)) {
-    return "0";
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-std::string Num(uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
-  return buf;
-}
+// Numbers in exports: plain, locale-independent, finite (shared formatter).
+std::string Num(double v) { return JsonNum(v); }
+std::string Num(uint64_t v) { return JsonNum(v); }
 
 }  // namespace
 

@@ -1,0 +1,46 @@
+// Seeded 64-bit mixing hashes shared by every sketch. Deterministic across
+// platforms and standard libraries (no std::hash, no wall clock): the same
+// seed always produces the same hash family, which is what makes per-node
+// sketches mergeable into fleet scope.
+#ifndef SRC_OBS_SKETCH_SKETCH_HASH_H_
+#define SRC_OBS_SKETCH_SKETCH_HASH_H_
+
+#include <cstdint>
+
+#include "src/obs/flow_key.h"
+
+namespace taichi::obs::sketch {
+
+// splitmix64 finalizer: full-avalanche bijective mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Two independent 64-bit hashes of a flow key under `seed`. Every sketch
+// derives its row/register/bucket indices from this pair via the
+// Kirsch-Mitzenmacher construction h_i = h1 + i * h2, so one key costs two
+// mixes regardless of sketch depth.
+struct HashPair {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+inline HashPair HashKey(const FlowKey& key, uint64_t seed) {
+  const uint64_t a = Mix64(key.PackHi() ^ seed);
+  const uint64_t b = Mix64(key.PackLo() ^ Mix64(seed ^ 0xd6e8feb86659fd93ULL) ^ a);
+  return {a, b | 1};  // Odd h2: h1 + i*h2 never collapses across rows.
+}
+
+// Derives a stable sub-seed for sketch component `tag` from a base seed —
+// the "sim::Rng-derived keys" pattern: one user-visible seed fans out into
+// independent hash families for CMS, HLL and the heavy-hitter index.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t tag) {
+  return Mix64(base ^ Mix64(tag));
+}
+
+}  // namespace taichi::obs::sketch
+
+#endif  // SRC_OBS_SKETCH_SKETCH_HASH_H_

@@ -1,0 +1,223 @@
+#include "src/obs/sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "src/sim/logging.h"
+
+namespace taichi::obs::sketch {
+
+namespace {
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Descending by bytes, ascending by key on ties — the report order.
+bool ReportGreater(const SpaceSaving::Entry& a, const SpaceSaving::Entry& b) {
+  if (a.bytes != b.bytes) {
+    return a.bytes > b.bytes;
+  }
+  return a.key < b.key;
+}
+
+}  // namespace
+
+SpaceSaving::SpaceSaving(SpaceSavingConfig config) : config_(config) {
+  if (config_.capacity < 1) {
+    TAICHI_ERROR(0, "space_saving: capacity %u is degenerate, clamping to 1",
+                 config_.capacity);
+    config_.capacity = 1;
+  }
+  seed_ = DeriveSeed(config_.seed, /*tag=*/0x707);
+  entries_.resize(config_.capacity);
+  // 4x slack keeps linear probes short at full occupancy.
+  const uint64_t slots = RoundUpPow2(uint64_t{4} * config_.capacity);
+  index_keys_.resize(slots);
+  index_pos_.assign(slots, kEmpty);
+  index_mask_ = slots - 1;
+}
+
+bool SpaceSaving::HeapLess(const Entry& a, const Entry& b) const {
+  if (a.bytes != b.bytes) {
+    return a.bytes < b.bytes;
+  }
+  return a.key < b.key;
+}
+
+size_t SpaceSaving::IndexSlot(const FlowKey& key) const {
+  return static_cast<size_t>(HashKey(key, seed_).h2 & index_mask_);
+}
+
+uint32_t* SpaceSaving::IndexFind(const FlowKey& key) {
+  size_t slot = IndexSlot(key);
+  while (index_pos_[slot] != kEmpty) {
+    if (index_keys_[slot] == key) {
+      return &index_pos_[slot];
+    }
+    slot = (slot + 1) & index_mask_;
+  }
+  return nullptr;
+}
+
+void SpaceSaving::IndexInsert(const FlowKey& key, uint32_t pos) {
+  size_t slot = IndexSlot(key);
+  while (index_pos_[slot] != kEmpty) {
+    slot = (slot + 1) & index_mask_;
+  }
+  index_keys_[slot] = key;
+  index_pos_[slot] = pos;
+}
+
+void SpaceSaving::IndexErase(const FlowKey& key) {
+  size_t slot = IndexSlot(key);
+  while (index_pos_[slot] != kEmpty && !(index_keys_[slot] == key)) {
+    slot = (slot + 1) & index_mask_;
+  }
+  if (index_pos_[slot] == kEmpty) {
+    return;  // Not present (cannot happen for live entries).
+  }
+  // Backward-shift deletion keeps probe chains unbroken without tombstones.
+  size_t hole = slot;
+  index_pos_[hole] = kEmpty;
+  size_t j = hole;
+  for (;;) {
+    j = (j + 1) & index_mask_;
+    if (index_pos_[j] == kEmpty) {
+      return;
+    }
+    const size_t ideal = IndexSlot(index_keys_[j]);
+    // Move j into the hole unless j's probe chain starts after the hole
+    // (cyclic interval check: ideal in (hole, j] means it must stay).
+    const bool stays = hole <= j ? (ideal > hole && ideal <= j)
+                                 : (ideal > hole || ideal <= j);
+    if (!stays) {
+      index_keys_[hole] = index_keys_[j];
+      index_pos_[hole] = index_pos_[j];
+      index_pos_[j] = kEmpty;
+      hole = j;
+    }
+  }
+}
+
+void SpaceSaving::SiftUp(size_t pos) {
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!HeapLess(entries_[pos], entries_[parent])) {
+      break;
+    }
+    std::swap(entries_[pos], entries_[parent]);
+    *IndexFind(entries_[pos].key) = static_cast<uint32_t>(pos);
+    *IndexFind(entries_[parent].key) = static_cast<uint32_t>(parent);
+    pos = parent;
+  }
+}
+
+void SpaceSaving::SiftDown(size_t pos) {
+  for (;;) {
+    const size_t l = pos * 2 + 1;
+    if (l >= live_) {
+      break;
+    }
+    size_t best = l;
+    const size_t r = l + 1;
+    if (r < live_ && HeapLess(entries_[r], entries_[l])) {
+      best = r;
+    }
+    if (!HeapLess(entries_[best], entries_[pos])) {
+      break;
+    }
+    std::swap(entries_[pos], entries_[best]);
+    *IndexFind(entries_[pos].key) = static_cast<uint32_t>(pos);
+    *IndexFind(entries_[best].key) = static_cast<uint32_t>(best);
+    pos = best;
+  }
+}
+
+void SpaceSaving::Update(const FlowKey& key, const HashPair& /*h*/, uint32_t bytes,
+                         uint64_t est_bytes, uint64_t est_packets) {
+  if (uint32_t* pos = IndexFind(key); pos != nullptr) {
+    Entry& e = entries_[*pos];
+    e.bytes += bytes;
+    e.packets += 1;
+    SiftDown(*pos);  // Counts only grow: the entry can only move down.
+    return;
+  }
+  if (live_ < config_.capacity) {
+    const size_t pos = live_++;
+    entries_[pos] = Entry{key, est_bytes, est_packets, est_bytes - bytes};
+    IndexInsert(key, static_cast<uint32_t>(pos));
+    SiftUp(pos);
+    return;
+  }
+  // Full table: admit only with sketch-evidence of outweighing the current
+  // minimum — the O(1) bounce that keeps mouse flows off the eviction path.
+  Entry& min = entries_[0];
+  if (est_bytes <= min.bytes) {
+    return;
+  }
+  ++evictions_;
+  IndexErase(min.key);
+  min = Entry{key, est_bytes, est_packets, est_bytes - bytes};
+  IndexInsert(key, 0);
+  SiftDown(0);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopK(size_t k) const {
+  std::vector<Entry> out(entries_.begin(), entries_.begin() + live_);
+  std::sort(out.begin(), out.end(), ReportGreater);
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+void SpaceSaving::Rebuild(std::vector<Entry> entries) {
+  std::fill(index_pos_.begin(), index_pos_.end(), kEmpty);
+  live_ = 0;
+  for (Entry& e : entries) {
+    const size_t pos = live_++;
+    entries_[pos] = e;
+    IndexInsert(e.key, static_cast<uint32_t>(pos));
+    SiftUp(pos);
+  }
+}
+
+bool SpaceSaving::Merge(const SpaceSaving& other) {
+  if (!Compatible(other)) {
+    TAICHI_ERROR(0, "space_saving: merge of incompatible tables (cap %u/%u)",
+                 config_.capacity, other.config_.capacity);
+    return false;
+  }
+  // Union the live sets (control plane: allocation is fine here).
+  std::vector<Entry> merged(entries_.begin(), entries_.begin() + live_);
+  for (size_t i = 0; i < other.live_; ++i) {
+    const Entry& oe = other.entries_[i];
+    bool found = false;
+    for (Entry& e : merged) {
+      if (e.key == oe.key) {
+        e.bytes += oe.bytes;
+        e.packets += oe.packets;
+        e.error += oe.error;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      merged.push_back(oe);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), ReportGreater);
+  evictions_ += other.evictions_;
+  if (merged.size() > config_.capacity) {
+    evictions_ += merged.size() - config_.capacity;
+    merged.resize(config_.capacity);
+  }
+  Rebuild(std::move(merged));
+  return true;
+}
+
+}  // namespace taichi::obs::sketch

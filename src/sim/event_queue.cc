@@ -87,6 +87,13 @@ EventQueue::Fired EventQueue::PopNext() {
     RemoveFromHeap(0);
     FreeSlot(slot);
   }
+  // Periodic high-water-mark check: after a burst drains, the next check
+  // returns the dead tail of the slot table. ShrinkToFit's own gates make
+  // this free in steady state.
+  if (++pops_since_shrink_check_ >= kAutoShrinkPopInterval) {
+    pops_since_shrink_check_ = 0;
+    ShrinkToFit();
+  }
   return fired;
 }
 

@@ -105,7 +105,15 @@ class EventQueue {
   // (the fleet layer does, between epochs). Live slots never move — their
   // ids stay valid — and ids of dropped slots can never alias future events:
   // regrown slots start at a generation floor above every dropped one.
+  //
+  // The queue also self-triggers this check every kAutoShrinkPopInterval
+  // pops, so a long single-node run whose burst high-water mark has passed
+  // returns slot memory without anyone calling ShrinkToFit() — the gates
+  // above make the periodic check a two-compare no-op in steady state, and
+  // shrinking is memory-only: event order and ids of live events are
+  // untouched.
   void ShrinkToFit();
+  static constexpr uint32_t kAutoShrinkPopInterval = 4096;
 
   // Total events scheduled since construction (fired, pending or cancelled).
   // A repeating event counts once per arming or firing, matching the
@@ -175,6 +183,7 @@ class EventQueue {
   // Slots created after a ShrinkToFit start at this generation, keeping every
   // id handed out for a dropped slot permanently dead.
   uint32_t gen_floor_ = 0;
+  uint32_t pops_since_shrink_check_ = 0;
   uint64_t next_seq_ = 1;
 };
 

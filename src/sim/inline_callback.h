@@ -29,10 +29,11 @@ namespace taichi::sim {
 // huge capture is a compile error, not a silent slow path.
 class InlineCallback {
  public:
-  // Large enough for `this` + an hw::IoPacket (64 bytes) + two words, the
-  // biggest capture on a per-packet path. Bench + tests assert the hot-path
-  // captures stay inline; bump deliberately if a new hot capture outgrows it.
-  static constexpr size_t kInlineBytes = 88;
+  // Large enough for `this` + an hw::IoPacket (80 bytes with its FlowKey) +
+  // two words, the biggest capture on a per-packet path. Bench + tests assert
+  // the hot-path captures stay inline; bump deliberately if a new hot capture
+  // outgrows it.
+  static constexpr size_t kInlineBytes = 104;
   // Oversized captures heap-box, but past this they are almost certainly a
   // bug (accidentally capturing a container by value).
   static constexpr size_t kMaxCallableBytes = 1024;

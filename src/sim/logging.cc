@@ -23,21 +23,36 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+void DefaultSink(LogLevel level, SimTime now, const char* message) {
+  std::fprintf(stderr, "[%12.3fus %s] %s\n", ToMicros(now), LevelName(level), message);
+}
+
+LogSink g_sink = &DefaultSink;
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+LogSink SetLogSink(LogSink sink) {
+  LogSink previous = g_sink == &DefaultSink ? nullptr : g_sink;
+  g_sink = sink != nullptr ? sink : &DefaultSink;
+  return previous;
+}
+
 void Logf(LogLevel level, SimTime now, const char* fmt, ...) {
   if (level < g_level) {
     return;
   }
-  std::fprintf(stderr, "[%12.3fus %s] ", ToMicros(now), LevelName(level));
+  // Format once into a stack buffer, then hand the line to the sink: the
+  // backend sees exactly what stderr used to get, and the hot path stays
+  // allocation-free. Over-long messages truncate rather than allocate.
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  g_sink(level, now, buf);
 }
 
 }  // namespace taichi::sim

@@ -24,6 +24,19 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Pluggable log backend: receives each formatted message (no time prefix,
+// no trailing newline) with its level and timestamp. The default sink writes
+// "[<time>us LEVEL] message" to stderr. Sinks let embedders capture simulator
+// diagnostics (test assertions on TAICHI_ERROR output, fleet harnesses
+// collecting per-node logs) without touching stdio.
+using LogSink = void (*)(LogLevel level, SimTime now, const char* message);
+
+// Installs `sink` as the backend and returns the previous one; nullptr
+// restores the default stderr sink. Not thread-safe: install before the
+// simulation starts (fleet workers log only through their own node's data,
+// but the sink pointer itself is global).
+LogSink SetLogSink(LogSink sink);
+
 // printf-style log statement stamped with `now`.
 void Logf(LogLevel level, SimTime now, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
 

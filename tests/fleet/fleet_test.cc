@@ -160,6 +160,39 @@ TEST(FleetAggregation, ClusterMergesNodeMetrics) {
                                     cluster.node(1).device_manager().startup_ms().sum());
 }
 
+TEST(Cluster, FlowTelemetryFlowsThroughPacketPath) {
+  // End-to-end: background traffic driven by the LoadGen must land in every
+  // node's RX/DP flow sketches via the packet-path taps, and the per-node
+  // monitors must roll up into one fleet monitor with exact total counts.
+  fleet::Cluster cluster(SmallCluster(2, 7));
+  fleet::LoadGenConfig lcfg;
+  lcfg.seed = 7;
+  lcfg.vm_arrivals = false;
+  lcfg.flow_count = 64;
+  fleet::LoadGen load(&cluster, lcfg);
+  load.Start();
+  cluster.RunFor(sim::Millis(20));
+  load.Stop();
+
+  uint64_t rx_sum = 0, dp_sum = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const exp::Testbed& bed = cluster.node(i);
+    EXPECT_GT(bed.flow_rx().total_packets(), 0u) << "node " << i;
+    EXPECT_GT(bed.flow_dp().total_packets(), 0u) << "node " << i;
+    // Synthesized 5-tuples spread over many flows, not one blob.
+    EXPECT_GT(bed.flow_dp().DistinctFlows(), 10.0) << "node " << i;
+    EXPECT_FALSE(bed.flow_dp().TopK(1).empty()) << "node " << i;
+    rx_sum += bed.flow_rx().total_packets();
+    dp_sum += bed.flow_dp().total_packets();
+    // The taps registered their gauges with the node's metrics registry.
+    EXPECT_TRUE(cluster.observability(i).metrics.Has("flows.rx.total_packets"));
+    EXPECT_TRUE(cluster.observability(i).metrics.Has("flows.dp.distinct_flows"));
+    EXPECT_TRUE(cluster.observability(i).metrics.Has("flows.tx.total_bytes"));
+  }
+  EXPECT_EQ(cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kRx).total_packets(), rx_sum);
+  EXPECT_EQ(cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kDp).total_packets(), dp_sum);
+}
+
 // --- SLO monitor ---------------------------------------------------------
 
 class SloMonitorTest : public ::testing::Test {
@@ -254,6 +287,83 @@ TEST_F(SloMonitorTest, InterleavedSubsetsThenFullObserveSeesEverything) {
   EXPECT_EQ(full.nodes[0].samples, 1u);
   EXPECT_EQ(full.nodes[1].samples, 0u);
   EXPECT_EQ(full.nodes[2].samples, 1u);
+}
+
+TEST_F(SloMonitorTest, HotspotReportNamesHeavyFlowsFromSketches) {
+  cfg_.hotspot_factor = 2.0;
+  cfg_.heavy_hitters = 2;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+
+  // Feed the DP-tap sketches directly (deterministic, no traffic needed):
+  // an elephant flow concentrated on node 2, plus cross-node chatter that
+  // only the merged fleet sketch can total up.
+  auto flow = [](uint32_t i) {
+    obs::FlowKey k;
+    k.src_ip = 0xc0a80000u | i;
+    k.dst_ip = 0x0a000001u;
+    k.src_port = static_cast<uint16_t>(5000 + i);
+    k.dst_port = 443;
+    k.proto = obs::kProtoTcp;
+    return k;
+  };
+  for (int p = 0; p < 100; ++p) {
+    cluster_.node(2).flow_dp().OnPacket(flow(1), 1500);  // The elephant.
+  }
+  for (int p = 0; p < 30; ++p) {
+    // Flow 2 is spread across all three nodes: no single node sees it as
+    // dominant, but fleet-wide it outweighs everything except the elephant.
+    for (size_t n = 0; n < cluster_.size(); ++n) {
+      cluster_.node(n).flow_dp().OnPacket(flow(2), 1000);
+    }
+    cluster_.node(2).flow_dp().OnPacket(flow(3), 100);  // A mouse.
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    lat_[0].Add(10);
+    lat_[1].Add(10);
+    lat_[2].Add(90);  // Hotspot, as in DetectsHotspotsAndSuggestsRebalance.
+  }
+  fleet::SloMonitor::Report r = monitor.Observe();
+  ASSERT_EQ(r.hotspots.size(), 1u);
+  ASSERT_EQ(r.hotspots[0], 2);
+
+  // Hotspot node 2: the elephant leads its heavy list with the exact
+  // sketch-estimated bytes and its share of the node's DP bytes.
+  ASSERT_EQ(r.nodes[2].heavy.size(), 2u);
+  EXPECT_EQ(r.nodes[2].heavy[0].key, flow(1));
+  EXPECT_EQ(r.nodes[2].heavy[0].bytes, 100u * 1500u);
+  EXPECT_EQ(r.nodes[2].heavy[0].packets, 100u);
+  const double node2_total = 100.0 * 1500 + 30.0 * 1000 + 30.0 * 100;
+  EXPECT_NEAR(r.nodes[2].heavy[0].share, 100.0 * 1500 / node2_total, 1e-9);
+  EXPECT_EQ(r.nodes[2].heavy[1].key, flow(2));
+  // Non-hotspot nodes carry no flow attribution.
+  EXPECT_TRUE(r.nodes[0].heavy.empty());
+  EXPECT_TRUE(r.nodes[1].heavy.empty());
+
+  // Fleet scope: merged across nodes, the spread-out flow 2 totals
+  // 90 packets and ranks ahead of everything but the elephant.
+  ASSERT_EQ(r.fleet_heavy.size(), 2u);
+  EXPECT_EQ(r.fleet_heavy[0].key, flow(1));
+  EXPECT_EQ(r.fleet_heavy[1].key, flow(2));
+  EXPECT_EQ(r.fleet_heavy[1].bytes, 90u * 1000u);
+  EXPECT_EQ(r.fleet_heavy[1].packets, 90u);
+  EXPECT_GT(r.fleet_heavy[0].share, r.fleet_heavy[1].share);
+}
+
+TEST_F(SloMonitorTest, HeavyHittersZeroDisablesFlowAttribution) {
+  cfg_.hotspot_factor = 2.0;
+  cfg_.heavy_hitters = 0;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  cluster_.node(2).flow_dp().OnPacket(obs::FlowKey{}, 1500);
+  for (int i = 0; i < 4; ++i) {
+    lat_[0].Add(10);
+    lat_[1].Add(10);
+    lat_[2].Add(90);
+  }
+  fleet::SloMonitor::Report r = monitor.Observe();
+  ASSERT_EQ(r.hotspots.size(), 1u);
+  EXPECT_TRUE(r.nodes[2].heavy.empty());
+  EXPECT_TRUE(r.fleet_heavy.empty());
 }
 
 TEST_F(SloMonitorTest, DetectsHotspotsAndSuggestsRebalance) {

@@ -1,0 +1,195 @@
+// FlowMonitor: the bundled sketch facade. Pins the determinism contract
+// (same seed + same stream -> byte-identical JSON), the fleet roll-up
+// algebra (commutative merge, shard-then-merge totals equal to a direct
+// run), heavy-hitter recall on skewed traffic, and metrics registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/flow_monitor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sketch/sketch_hash.h"
+
+namespace taichi::obs {
+namespace {
+
+FlowKey Key(uint32_t i) {
+  FlowKey k;
+  k.src_ip = 0x0a000000u | (i & 0xffffffu);
+  k.dst_ip = 0x0a800001u;
+  k.src_port = static_cast<uint16_t>(1024 + i % 60000);
+  k.dst_port = 443;
+  k.proto = kProtoTcp;
+  return k;
+}
+
+// Deterministic Zipf-ish stream: packet n belongs to flow rank
+// floor(pow(n-hash-derived-uniform, skew) scaled), mirroring how the
+// dp::OpenLoopSource synthesizes flow identity (counter-hash, no RNG).
+uint32_t FlowOf(uint64_t n, uint32_t flows, double skew) {
+  const uint64_t h = sketch::Mix64(n ^ 0x9e3779b97f4a7c15ULL);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double r = std::pow(static_cast<double>(flows), std::pow(u, skew));
+  uint64_t rank = r < 1.0 ? 0 : static_cast<uint64_t>(r) - 1;
+  if (rank >= flows) {
+    rank = flows - 1;
+  }
+  return static_cast<uint32_t>(rank);
+}
+
+TEST(FlowMonitor, SameSeedSameStreamIsByteIdentical) {
+  FlowMonitorConfig cfg;
+  FlowMonitor a(cfg), b(cfg);
+  for (uint64_t n = 0; n < 20000; ++n) {
+    const FlowKey k = Key(FlowOf(n, 5000, 1.3));
+    a.OnPacket(k, 64 + n % 1400);
+    b.OnPacket(k, 64 + n % 1400);
+  }
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_DOUBLE_EQ(a.DistinctFlows(), b.DistinctFlows());
+}
+
+TEST(FlowMonitor, MergeIsCommutative) {
+  FlowMonitorConfig cfg;
+  FlowMonitor a(cfg), b(cfg);
+  for (uint64_t n = 0; n < 10000; ++n) {
+    (n % 3 ? a : b).OnPacket(Key(FlowOf(n, 2000, 1.3)), 200);
+  }
+  FlowMonitor ab = a, ba = b;
+  ASSERT_TRUE(ab.Merge(b));
+  ASSERT_TRUE(ba.Merge(a));
+  EXPECT_EQ(ab.ToJson(), ba.ToJson());
+  EXPECT_EQ(ab.total_bytes(), ba.total_bytes());
+  EXPECT_DOUBLE_EQ(ab.DistinctFlows(), ba.DistinctFlows());
+}
+
+TEST(FlowMonitor, ShardThenMergeMatchesDirect) {
+  // Simulates the fleet roll-up: four "nodes" each see a slice of the
+  // stream; their merged monitor must report the same exact totals as one
+  // monitor that saw everything, the identical distinct-flow estimate
+  // (register-max is exact), and per-flow estimates that never drop below
+  // the true counts (conservative update makes merged vs direct cells
+  // incomparable, but both stay upper bounds of the truth).
+  FlowMonitorConfig cfg;
+  FlowMonitor direct(cfg);
+  std::vector<FlowMonitor> nodes(4, FlowMonitor(cfg));
+  constexpr uint32_t kFlows = 8000;
+  std::vector<uint64_t> truth(kFlows, 0);
+  for (uint64_t n = 0; n < 40000; ++n) {
+    const uint32_t f = FlowOf(n, kFlows, 1.3);
+    const FlowKey k = Key(f);
+    const uint32_t bytes = 64 + n % 1400;
+    truth[f] += bytes;
+    nodes[n % 4].OnPacket(k, bytes);
+    direct.OnPacket(k, bytes);
+  }
+  FlowMonitor fleet(cfg);
+  for (const FlowMonitor& node : nodes) {
+    ASSERT_TRUE(fleet.Merge(node));
+  }
+  EXPECT_EQ(fleet.total_packets(), direct.total_packets());
+  EXPECT_EQ(fleet.total_bytes(), direct.total_bytes());
+  EXPECT_DOUBLE_EQ(fleet.DistinctFlows(), direct.DistinctFlows());
+  for (uint32_t i = 0; i < 200; ++i) {
+    EXPECT_GE(fleet.Query(Key(i)).bytes, truth[i]) << i;
+    EXPECT_GE(direct.Query(Key(i)).bytes, truth[i]) << i;
+  }
+}
+
+TEST(FlowMonitor, MergeRefusesIncompatibleConfigs) {
+  FlowMonitorConfig cfg, other;
+  other.seed = 0xdeadbeefULL;
+  FlowMonitor a(cfg), b(other);
+  a.OnPacket(Key(1), 100);
+  const std::string before = a.ToJson();
+  EXPECT_FALSE(a.Compatible(b));
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.ToJson(), before);
+}
+
+TEST(FlowMonitor, TopKRecallOnSkewedStream) {
+  // 100k packets over 10k flows, Zipf-skewed. The true top flows by bytes
+  // are known exactly (uniform packet size); the monitor must recover at
+  // least 90% of the top 16 from constant space.
+  FlowMonitorConfig cfg;
+  FlowMonitor fm(cfg);
+  constexpr uint32_t kFlows = 10000;
+  std::vector<uint64_t> truth(kFlows, 0);
+  for (uint64_t n = 0; n < 100000; ++n) {
+    const uint32_t f = FlowOf(n, kFlows, 1.3);
+    truth[f] += 1000;
+    fm.OnPacket(Key(f), 1000);
+  }
+  std::vector<uint32_t> order(kFlows);
+  for (uint32_t i = 0; i < kFlows; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return truth[a] > truth[b]; });
+  const auto top = fm.TopK(16);
+  ASSERT_EQ(top.size(), 16u);
+  int hits = 0;
+  for (const auto& e : top) {
+    for (size_t t = 0; t < 16; ++t) {
+      if (e.key == Key(order[t])) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(hits, 15) << "top-16 recall below 0.9";
+  // Reported byte counts are upper bounds with bounded error.
+  for (const auto& e : top) {
+    EXPECT_GE(e.bytes, e.error);
+  }
+}
+
+TEST(FlowMonitor, RegistersAndUnregistersMetrics) {
+  FlowMonitorConfig cfg;
+  FlowMonitor fm(cfg);
+  std::vector<bool> seen(50, false);
+  for (uint64_t n = 0; n < 300; ++n) {
+    const uint32_t f = FlowOf(n, 50, 1.3);
+    seen[f] = true;
+    fm.OnPacket(Key(f), 500);
+  }
+  // The skewed synthesizer does not necessarily hit every rank in 300
+  // draws: compare against the stream's true distinct count.
+  const double true_distinct =
+      static_cast<double>(std::count(seen.begin(), seen.end(), true));
+  MetricsRegistry reg;
+  fm.RegisterMetrics(reg, "flows.dp.");
+  const MetricsSnapshot snap = reg.Snapshot(0);
+  const MetricSample* distinct = snap.Find("flows.dp.distinct_flows");
+  ASSERT_NE(distinct, nullptr);
+  EXPECT_NEAR(distinct->value, true_distinct, 3.0);
+  const MetricSample* packets = snap.Find("flows.dp.total_packets");
+  ASSERT_NE(packets, nullptr);
+  EXPECT_EQ(packets->count, 300u);
+  const MetricSample* bytes = snap.Find("flows.dp.total_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->count, 300u * 500u);
+  ASSERT_NE(snap.Find("flows.dp.cms_epsilon"), nullptr);
+  ASSERT_NE(snap.Find("flows.dp.heavy_evictions"), nullptr);
+  reg.RemovePrefix("flows.dp.");
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(FlowMonitor, ToJsonNamesHeavyFlows) {
+  FlowMonitor fm((FlowMonitorConfig{}));
+  for (int i = 0; i < 10; ++i) {
+    fm.OnPacket(Key(7), 1500);
+  }
+  const std::string json = fm.ToJson(4);
+  EXPECT_NE(json.find("\"top\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find(Key(7).ToString()), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cms\": "), std::string::npos);
+  EXPECT_NE(json.find("\"hll\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taichi::obs

@@ -433,6 +433,45 @@ TEST(EventQueueTest, StaleIdsStayDeadAcrossShrinkAndRegrow) {
   }
 }
 
+TEST(EventQueueTest, AutoShrinkReclaimsBurstHighWaterMark) {
+  // Nobody calls ShrinkToFit() here: after a burst drains, the queue's own
+  // periodic pop check must return the slot-table memory while a standing
+  // repeating timer keeps running.
+  EventQueue q;
+  bool survivor_fired = false;
+  q.Schedule(1, [&] { survivor_fired = true; });  // Slot 0.
+  std::vector<EventId> burst;
+  for (int i = 0; i < 6000; ++i) {
+    burst.push_back(q.Schedule(static_cast<SimTime>(1000000 + i), [] {}));
+  }
+  // Cancel in reverse so the free-list head lands on the lowest burst slot:
+  // the ticker below then reuses slot 1 and the whole tail stays trimmable.
+  for (auto it = burst.rbegin(); it != burst.rend(); ++it) {
+    EXPECT_TRUE(q.Cancel(*it));
+  }
+  int ticks = 0;
+  EventId ticker = q.ScheduleRepeating(2, 1, [&] { ++ticks; });
+  const size_t high_water = q.slot_count();
+  ASSERT_GE(high_water, 6000u);
+
+  for (uint32_t i = 0; i <= EventQueue::kAutoShrinkPopInterval; ++i) {
+    EventQueue::Fired fired = q.PopNext();
+    fired.fn();
+    if (fired.repeating) {
+      q.RestoreRepeating(fired.id, std::move(fired.fn));
+    }
+  }
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_LT(q.slot_count(), high_water);
+  EXPECT_LE(q.slot_count(), 2u);
+  // The standing timer survived the shrink: same id, still firing.
+  EXPECT_TRUE(q.IsPending(ticker));
+  EXPECT_EQ(ticks, static_cast<int>(EventQueue::kAutoShrinkPopInterval));
+  EventQueue::Fired next = q.PopNext();
+  next.fn();
+  EXPECT_EQ(ticks, static_cast<int>(EventQueue::kAutoShrinkPopInterval) + 1);
+}
+
 TEST(EventQueueTest, MoveOnlyCaptureSchedules) {
   EventQueue q;
   auto owned = std::make_unique<int>(41);

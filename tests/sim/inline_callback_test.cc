@@ -108,7 +108,7 @@ TEST(InlineCallbackTest, HotPathCapturesStayInline) {
   // zero-allocation guarantee (see bench_micro's allocation hook).
   struct PacketShapedCapture {
     void* self;
-    unsigned char packet[64];  // sizeof(hw::IoPacket)
+    unsigned char packet[80];  // sizeof(hw::IoPacket), FlowKey included
     uint32_t queue;
     uint64_t now;
   };

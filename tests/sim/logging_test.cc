@@ -1,0 +1,82 @@
+// Pluggable log sink: messages reach the installed backend fully formatted
+// (no time prefix, no newline), level filtering happens before the sink,
+// and nullptr restores the stderr default.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/sim/logging.h"
+
+namespace taichi::sim {
+namespace {
+
+LogLevel g_seen_level = LogLevel::kTrace;
+SimTime g_seen_time = 0;
+std::string g_seen_message;
+int g_calls = 0;
+
+void CaptureSink(LogLevel level, SimTime now, const char* message) {
+  g_seen_level = level;
+  g_seen_time = now;
+  g_seen_message = message;
+  ++g_calls;
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    g_calls = 0;
+    g_seen_message.clear();
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedMessage) {
+  // With the default stderr sink active, installing returns nullptr.
+  EXPECT_EQ(SetLogSink(&CaptureSink), nullptr);
+  SetLogLevel(LogLevel::kInfo);
+  TAICHI_INFO(12345, "hello %d %s", 42, "world");
+  ASSERT_EQ(g_calls, 1);
+  EXPECT_EQ(g_seen_message, "hello 42 world");  // No prefix, no newline.
+  EXPECT_EQ(g_seen_level, LogLevel::kInfo);
+  EXPECT_EQ(g_seen_time, 12345u);
+}
+
+TEST_F(LoggingTest, LevelFilterRunsBeforeSink) {
+  SetLogSink(&CaptureSink);
+  SetLogLevel(LogLevel::kWarn);
+  TAICHI_DEBUG(1, "dropped");
+  TAICHI_INFO(2, "dropped too");
+  EXPECT_EQ(g_calls, 0);
+  TAICHI_ERROR(3, "kept");
+  EXPECT_EQ(g_calls, 1);
+  EXPECT_EQ(g_seen_message, "kept");
+}
+
+TEST_F(LoggingTest, InstallReturnsPreviousSinkAndNullRestoresDefault) {
+  SetLogSink(&CaptureSink);
+  // Replacing a custom sink hands it back so embedders can chain/restore.
+  EXPECT_EQ(SetLogSink(nullptr), &CaptureSink);
+  // Default restored: a second install reports "default was active" again.
+  EXPECT_EQ(SetLogSink(&CaptureSink), nullptr);
+}
+
+TEST_F(LoggingTest, OverlongMessageTruncatesInsteadOfAllocating) {
+  SetLogSink(&CaptureSink);
+  SetLogLevel(LogLevel::kInfo);
+  const std::string big(2000, 'x');
+  TAICHI_INFO(0, "%s", big.c_str());
+  ASSERT_EQ(g_calls, 1);
+  // vsnprintf into the 1024-byte stack buffer: 1023 chars + NUL.
+  EXPECT_EQ(g_seen_message.size(), 1023u);
+  EXPECT_EQ(g_seen_message, std::string(1023, 'x'));
+}
+
+}  // namespace
+}  // namespace taichi::sim
