@@ -16,8 +16,15 @@
 // epoch, but every node owns its clock/Rng/observability, so thread count
 // cannot change what the simulation computes. Host-dependent numbers (wall
 // clock, thread count) go to the separate `--perf-json <path>` sidecar.
+//
+// `--scenario <name>` swaps the offered load while the rollout machinery
+// stays fixed: `baseline` (default, byte-identical to the historical
+// harness), `diurnal` (day/night curve), `ddos` (spoofed flood at node 0),
+// `crash-churn` (random node crashes with auto-restart; rebooted nodes
+// rejoin the rollout's enabled set).
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -26,6 +33,9 @@
 #include "src/fleet/load_gen.h"
 #include "src/fleet/rollout.h"
 #include "src/fleet/slo_monitor.h"
+#include "src/scenario/chaos.h"
+#include "src/scenario/generators.h"
+#include "src/scenario/library.h"
 
 using namespace taichi;
 
@@ -46,6 +56,7 @@ int main(int argc, char** argv) {
   std::string wavelog_path;
   std::string perf_json_path;
   std::string flows_json_path;
+  std::string scenario_name = "baseline";
   int threads = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,9 +68,18 @@ int main(int argc, char** argv) {
       perf_json_path = argv[i + 1];
     } else if (arg == "--flows-json") {
       flows_json_path = argv[i + 1];
+    } else if (arg == "--scenario") {
+      scenario_name = argv[i + 1];
     } else if (arg == "--threads") {
       threads = std::atoi(argv[i + 1]);
     }
+  }
+  if (scenario_name != "baseline" && scenario_name != "diurnal" && scenario_name != "ddos" &&
+      scenario_name != "crash-churn") {
+    std::fprintf(stderr,
+                 "--scenario must be baseline, diurnal, ddos or crash-churn (got '%s')\n",
+                 scenario_name.c_str());
+    return 2;
   }
 
   fleet::ClusterConfig ccfg;
@@ -70,19 +90,58 @@ int main(int argc, char** argv) {
   ccfg.node.mode = exp::Mode::kBaseline;
   ccfg.enable_trace = !trace_path.empty();
   ccfg.trace_capacity = 1 << 12;  // Per node; the merge multiplies by kNodes.
-  ccfg.tweak = [](int, exp::TestbedConfig& cfg) {
-    cfg.vm_startup.devices_per_vm = 6 * kDensity;
-    cfg.monitors.count = 6 * kDensity;
-  };
-  fleet::Cluster cluster(ccfg);
-
-  fleet::LoadGenConfig lcfg;
+  // The Fig. 3 density mix (load shape + per-node tweak) has one definition,
+  // in the scenario library; this harness and the scenario suite share it.
   // At 4x density each workflow provisions 24 devices (~37 ms of CP work),
   // so 30 arrivals/s/density saturates the 4 static CP CPUs — the baseline
   // queues and breaches while Tai Chi's donated DP cycles absorb it.
-  lcfg.vm_arrival_rate_per_sec = 30.0 * kDensity;
-  fleet::LoadGen load(&cluster, lcfg);
-  load.Start();
+  const scenario::Fig3Mix mix = scenario::Fig3DensityMix(kDensity);
+  ccfg.tweak = mix.tweak;
+  fleet::Cluster cluster(ccfg);
+
+  // The rollout is created later (phase 2); chaos restarts that land after a
+  // node was rolled onto Tai Chi must re-enable it, so the provision hook
+  // reads the rollout's enabled count through this pointer.
+  fleet::Rollout* rollout_ptr = nullptr;
+
+  std::unique_ptr<scenario::TrafficSource> source;
+  std::unique_ptr<scenario::ChaosEngine> chaos;
+  if (scenario_name == "diurnal") {
+    scenario::DiurnalConfig dcfg;
+    dcfg.load = mix.load;
+    dcfg.trough = 0.50;
+    dcfg.peak = 1.40;
+    source = std::make_unique<scenario::DiurnalSource>(dcfg);
+  } else if (scenario_name == "ddos") {
+    scenario::DdosConfig acfg;
+    acfg.load = mix.load;
+    acfg.targets = {0};
+    acfg.attackers = 12;
+    acfg.utilization = 0.50;
+    acfg.size_bytes = 512;
+    acfg.start_after = sim::Millis(100);
+    source = std::make_unique<scenario::DdosSource>(acfg);
+  } else {
+    source = std::make_unique<scenario::Fig3Source>(mix.load);
+  }
+  if (scenario_name == "crash-churn") {
+    scenario::ChaosConfig chcfg;
+    chcfg.crash_prob = 0.002;
+    chcfg.down_time = sim::Millis(40);
+    chcfg.seed = 0x5eedull ^ ccfg.seed;
+    chcfg.min_alive = kNodes - 2;
+    chaos = std::make_unique<scenario::ChaosEngine>(&cluster, chcfg);
+    chaos->AddListener(source.get());
+    chaos->SetProvision([&rollout_ptr](size_t node, exp::Testbed& bed) {
+      if (rollout_ptr != nullptr && node < rollout_ptr->enabled_nodes()) {
+        bed.EnableTaiChi();
+      }
+    });
+  }
+  source->Start(cluster);
+  if (chaos != nullptr) {
+    chaos->Arm();
+  }
 
   fleet::SloConfig slo;
   slo.threshold = kNicSloMs;
@@ -108,6 +167,7 @@ int main(int argc, char** argv) {
   rcfg.soak = sim::Millis(300);
   rcfg.slo = slo;
   fleet::Rollout rollout(&cluster, rcfg);
+  rollout_ptr = &rollout;
   rollout.Start();
   const sim::SimTime rollout_deadline = cluster.Now() + sim::Seconds(5);
   while (rollout.state() == fleet::Rollout::State::kSoaking &&
@@ -119,12 +179,31 @@ int main(int argc, char** argv) {
   monitor.Observe();  // Reset the window to post-rollout samples only.
   cluster.RunFor(sim::Millis(400));
   fleet::SloMonitor::Report after = monitor.Observe();
-  load.Stop();
+  if (chaos != nullptr) {
+    // No new faults, but already-queued auto-restarts still fire so the
+    // fleet ends whole.
+    chaos->Quiesce();
+    for (int i = 0; chaos->pending_restarts() > 0 && i < 64; ++i) {
+      cluster.RunFor(ccfg.epoch);
+    }
+  }
+  source->Stop(cluster);
+  if (chaos != nullptr) {
+    chaos->Disarm();
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
           .count();
 
   std::printf("threads: %d, wall: %.0f ms\n", threads, wall_ms);
+  if (scenario_name != "baseline") {
+    std::printf("scenario: %s (source: %s)\n", scenario_name.c_str(), source->name());
+  }
+  if (chaos != nullptr) {
+    std::printf("chaos: %d crashes, %d restarts, %zu pending, %zu/%d nodes up\n",
+                chaos->crashes(), chaos->restarts(), chaos->pending_restarts(),
+                cluster.alive_count(), kNodes);
+  }
   std::printf("rollout: %s after %zu gates\n",
               rollout.state() == fleet::Rollout::State::kDone        ? "converged"
               : rollout.state() == fleet::Rollout::State::kRolledBack ? "ROLLED BACK"
@@ -188,7 +267,12 @@ int main(int argc, char** argv) {
   json.Config("nodes", static_cast<int64_t>(kNodes));
   json.Config("density", static_cast<int64_t>(kDensity));
   json.Config("seed", static_cast<int64_t>(ccfg.seed));
-  json.Config("vm_arrival_rate_per_sec", lcfg.vm_arrival_rate_per_sec);
+  if (scenario_name != "baseline") {
+    // Only non-default runs name their scenario: the default report must
+    // stay byte-identical to the pre-scenario harness.
+    json.Config("scenario", scenario_name);
+  }
+  json.Config("vm_arrival_rate_per_sec", mix.load.vm_arrival_rate_per_sec);
   json.Config("slo_ms", kStartupSloMs);
   json.Config("soak_ms", sim::ToSeconds(rcfg.soak) * 1e3);
   json.Metric("rollout_done", static_cast<int64_t>(rollout.state() == fleet::Rollout::State::kDone));

@@ -1,0 +1,216 @@
+// Scenario suite: named end-to-end experiments (trace replay, adversarial
+// traffic, chaos injection) with deterministic pass/fail verdicts.
+//
+//   scenario_suite --list
+//   scenario_suite --scenario ddos --json out.json
+//   scenario_suite --scenario baseline --record-trace run.tcpt
+//   scenario_suite --scenario baseline --replay run.tcpt
+//
+// Every verdict is a pure function of (scenario, nodes, seed, duration):
+// the JSON carries no thread count and no wall clock, so CI compares the
+// bytes produced with --threads 1 against --threads 4 with `cmp`. The
+// process exits nonzero when any requested scenario fails its expectations
+// — the suite is a gate, not just a report.
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/scenario/library.h"
+#include "src/scenario/trace_format.h"
+
+using namespace taichi;
+
+namespace {
+
+void PrintVerdict(const scenario::ScenarioVerdict& v) {
+  std::printf("\n--- %s: %s ---\n", v.scenario.c_str(), v.pass ? "PASS" : "FAIL");
+  std::printf("  windows: %zu  breaches: %zu  hotspot: %zu  attributed: %zu\n",
+              v.windows, v.breach_windows, v.hotspot_windows, v.attributed_windows);
+  std::printf("  samples: %zu  worst fleet pctl: %.1f ms  last: %.1f ms\n",
+              v.total_samples, v.worst_fleet_value, v.last_fleet_value);
+  if (v.crashes + v.restarts + v.stalls + v.floods + v.storms > 0) {
+    std::printf("  chaos: %d crashes, %d restarts, %d stalls, %d floods, %d storms\n",
+                v.crashes, v.restarts, v.stalls, v.floods, v.storms);
+  }
+  for (const scenario::ScenarioCheck& c : v.checks) {
+    std::printf("  [%s] %-20s %s\n", c.pass ? "ok" : "XX", c.name.c_str(),
+                c.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> requested;
+  std::string json_path;
+  std::string record_path;
+  std::string replay_path;
+  bool verbose = false;
+  scenario::ScenarioOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+      continue;
+    }
+    if (arg == "--list") {
+      for (const std::string& name : scenario::ScenarioNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return 2;
+    }
+    if (arg == "--scenario") {
+      requested.push_back(argv[++i]);
+    } else if (arg == "--json") {
+      json_path = argv[++i];
+    } else if (arg == "--record-trace") {
+      record_path = argv[++i];
+    } else if (arg == "--replay") {
+      replay_path = argv[++i];
+    } else if (arg == "--nodes") {
+      opts.nodes = std::atoi(argv[++i]);
+    } else if (arg == "--density") {
+      opts.density = std::atoi(argv[++i]);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(argv[++i]);
+    } else if (arg == "--duration-ms") {
+      opts.observed = sim::Millis(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (requested.empty()) {
+    requested = scenario::ScenarioNames();
+  }
+  if ((!record_path.empty() || !replay_path.empty()) && requested.size() != 1) {
+    std::fprintf(stderr, "--record-trace/--replay need exactly one --scenario\n");
+    return 2;
+  }
+
+  bench::PrintHeader("Scenario suite",
+                     "trace replay, adversarial traffic and chaos injection");
+
+  std::vector<scenario::ScenarioVerdict> verdicts;
+  for (const std::string& name : requested) {
+    scenario::ScenarioSpec spec = scenario::BuildScenario(name, opts);
+    if (spec.name.empty()) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+
+    scenario::PacketTraceReplayer* replayer = nullptr;
+    if (!replay_path.empty()) {
+      scenario::PacketTrace trace;
+      if (!scenario::PacketTrace::ReadFile(replay_path, &trace)) {
+        std::fprintf(stderr, "cannot read trace '%s'\n", replay_path.c_str());
+        return 2;
+      }
+      std::printf("replaying %zu records for %u nodes from %s\n",
+                  trace.records.size(), trace.node_count, replay_path.c_str());
+      // The replayed stream carries only DP packets (no CP workflow
+      // arrivals), so SLO-sample expectations do not apply; the scenario's
+      // cluster shape and SLO policy are kept, its traffic and chaos are not.
+      spec.use_chaos = false;
+      spec.expect = scenario::ScenarioExpectations{};
+      spec.expect.min_fleet_samples = 0;
+      // Raw new: std::function targets must be copyable, and the runner's
+      // constructor invokes make_source exactly once, taking ownership.
+      auto* raw = new scenario::PacketTraceReplayer(std::move(trace));
+      replayer = raw;
+      spec.make_source = [raw](fleet::Cluster&) -> std::unique_ptr<scenario::TrafficSource> {
+        return std::unique_ptr<scenario::TrafficSource>(raw);
+      };
+    }
+
+    scenario::ScenarioRunner runner(std::move(spec));
+
+    std::unique_ptr<scenario::PacketTraceRecorder> recorder;
+    if (!record_path.empty()) {
+      recorder = std::make_unique<scenario::PacketTraceRecorder>(&runner.cluster());
+      recorder->Attach();
+      runner.AddListener(recorder.get());
+    }
+
+    scenario::ScenarioVerdict v = runner.Run();
+    PrintVerdict(v);
+    if (verbose) {
+      for (size_t w = 0; w < runner.window_reports().size(); ++w) {
+        const fleet::SloMonitor::Report& r = runner.window_reports()[w];
+        std::printf("  window %zu @ %.0f ms: fleet pctl %.1f ms (%zu samples)%s\n", w,
+                    sim::ToSeconds(r.at) * 1e3, r.fleet_value, r.total_samples,
+                    r.fleet_breach ? " BREACH" : "");
+        for (size_t n = 0; n < r.nodes.size(); ++n) {
+          const fleet::SloMonitor::NodeStat& s = r.nodes[n];
+          std::printf("    node %2zu: %3zu samples, pctl %7.1f ms%s%s\n", n, s.samples,
+                      s.value, s.breach ? " breach" : "", s.hotspot ? " HOTSPOT" : "");
+          for (const fleet::SloMonitor::HeavyFlow& f : s.heavy) {
+            std::printf("      heavy: %s  %.1f%%%s\n", f.key.ToString().c_str(),
+                        100.0 * f.share,
+                        scenario::IsAttackFlow(f) ? "  << attack range" : "");
+          }
+        }
+      }
+    }
+    if (replayer != nullptr) {
+      std::printf("  replay: %llu injected, %llu dropped late\n",
+                  static_cast<unsigned long long>(replayer->injected()),
+                  static_cast<unsigned long long>(replayer->dropped_late()));
+    }
+    if (recorder != nullptr) {
+      const scenario::PacketTrace trace = recorder->Finish();
+      if (!trace.WriteFile(record_path)) {
+        std::fprintf(stderr, "cannot write trace '%s'\n", record_path.c_str());
+        return 2;
+      }
+      std::printf("  recorded %zu packet records -> %s\n", trace.records.size(),
+                  record_path.c_str());
+    }
+    verdicts.push_back(std::move(v));
+  }
+
+  bool all_pass = true;
+  for (const scenario::ScenarioVerdict& v : verdicts) {
+    all_pass = all_pass && v.pass;
+  }
+
+  if (!json_path.empty()) {
+    // One scenario: its verdict verbatim (easy to gate on). Several: a
+    // suite wrapper. Either way: no thread count, no wall clock — the same
+    // invocation at any --threads value writes the same bytes.
+    std::string out;
+    if (verdicts.size() == 1) {
+      out = verdicts[0].ToJson();
+    } else {
+      out = "{\"suite\":[";
+      for (size_t i = 0; i < verdicts.size(); ++i) {
+        std::string one = verdicts[i].ToJson();
+        while (!one.empty() && one.back() == '\n') {
+          one.pop_back();
+        }
+        out += (i == 0 ? "" : ",") + one;
+      }
+      out += "]}\n";
+    }
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+  std::printf("\n%s\n", all_pass ? "PASS: all scenario expectations held"
+                                 : "FAIL: a scenario missed its expectations");
+  return all_pass ? 0 : 1;
+}

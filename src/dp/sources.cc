@@ -31,6 +31,19 @@ double OpenLoopSource::CurrentRate() const {
 }
 
 obs::FlowKey OpenLoopSource::MakeFlowKey(uint64_t packet_index) const {
+  if (config_.attack_sources > 0) {
+    // DDoS mode: few spoofed attackers, uniform share each, one victim.
+    const uint64_t h = obs::sketch::Mix64(
+        obs::sketch::Mix64(config_.flow ^ 0xddb05ULL) ^ packet_index);
+    const uint64_t rank = h % config_.attack_sources;
+    obs::FlowKey key;
+    key.src_ip = kAttackSrcBase | static_cast<uint32_t>(rank & 0xffu);
+    key.dst_ip = 0x0a800000u | static_cast<uint32_t>(config_.flow & 0xffffu);
+    key.src_port = static_cast<uint16_t>(1024 + rank);
+    key.dst_port = 53;  // The classic reflection/flood victim port.
+    key.proto = obs::kProtoUdp;
+    return key;
+  }
   uint64_t rank = 0;
   if (config_.flow_count > 1) {
     // Counter-hash draw: uniform u from a mix of (source flow id, packet

@@ -13,6 +13,11 @@
 
 namespace taichi::dp {
 
+// Spoofed-attacker source addresses live in TEST-NET-2 (198.51.100.0/24) so
+// scenario assertions can recognize adversarial flows by prefix.
+inline constexpr uint32_t kAttackSrcBase = 0xc6336400u;
+inline constexpr uint32_t kAttackSrcMask = 0xffffff00u;
+
 struct OpenLoopConfig {
   enum class Process : uint8_t { kPoisson, kConstant, kMmpp };
 
@@ -32,6 +37,14 @@ struct OpenLoopConfig {
   // `flow`. RSS queueing still keys on `flow`, untouched.
   uint32_t flow_count = 1;
   double flow_skew = 1.3;
+
+  // Adversarial flow identity: when > 0 the source emits a DDoS-shaped
+  // population instead of the Zipf mix — `attack_sources` spoofed source IPs
+  // in the TEST-NET-2 block (198.51.100.0/24) hammering one victim endpoint
+  // over UDP, packets spread uniformly across the attackers (Zipf-busting:
+  // every attacker flow is heavy). Same counter-hash mechanism: no Rng
+  // state, no timing effect, telemetry identity only.
+  uint32_t attack_sources = 0;
 
   // MMPP: alternating low/high states; the high state multiplies the rate.
   double burst_multiplier = 8.0;

@@ -1,5 +1,6 @@
 #include "src/exp/testbed.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -254,6 +255,7 @@ void Testbed::StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
     if (obs_ != nullptr) {
       src->RegisterMetrics(obs_->metrics, "src" + std::to_string(background_.size()));
     }
+    background_base_pps_.push_back(ocfg.rate_pps);
     background_.push_back(std::move(src));
   }
 }
@@ -299,6 +301,7 @@ void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
     if (obs_ != nullptr) {
       src->RegisterMetrics(obs_->metrics, "src" + std::to_string(background_.size()));
     }
+    background_base_pps_.push_back(ocfg.rate_pps);
     background_.push_back(std::move(src));
   }
 }
@@ -306,6 +309,12 @@ void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
 void Testbed::StopBackgroundLoad() {
   for (auto& src : background_) {
     src->Stop();
+  }
+}
+
+void Testbed::ScaleBackgroundLoad(double factor) {
+  for (size_t i = 0; i < background_.size(); ++i) {
+    background_[i]->set_rate(background_base_pps_[i] * factor);
   }
 }
 
@@ -325,6 +334,49 @@ void Testbed::SpawnBackgroundCp() {
                                                        cp_task_cpus_, &monitor_lock_,
                                                        config_.seed ^ 0x3a0b17);
   monitor_tasks_.insert(monitor_tasks_.end(), tasks.begin(), tasks.end());
+}
+
+void Testbed::StallAccelerator(sim::Duration duration) {
+  machine_->accelerator().Stall(duration);
+}
+
+void Testbed::SetIngressTap(hw::Accelerator::IngressTap tap) {
+  machine_->accelerator().set_ingress_tap(std::move(tap));
+}
+
+std::vector<os::Task*> Testbed::SpawnCpFlood(int count, uint64_t iterations, uint64_t salt) {
+  std::vector<os::Task*> tasks;
+  tasks.reserve(static_cast<size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) {
+    cp::CpWorkProfile profile;
+    // Heavier than the monitor fleet: every iteration syscalls, and half the
+    // routines grab the shared driver lock the monitors also use.
+    profile.syscall_prob = 1.0;
+    profile.short_routine_prob = 0.80;
+    profile.lock_prob = 0.50;
+    profile.lock = &monitor_lock_;
+    const uint64_t seed = config_.seed ^ salt ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    os::Task* task = kernel_->Spawn("cp_flood_" + std::to_string(i),
+                                    cp::MakeCpTask(profile, iterations, seed), cp_task_cpus_);
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+os::Task* Testbed::SpawnHotplugStorm(int ops, sim::Duration routine, uint64_t salt) {
+  std::vector<os::Action> script;
+  script.reserve(static_cast<size_t>(std::max(0, ops)) * 2 + 1);
+  for (int i = 0; i < ops; ++i) {
+    // A sliver of user-space setup between ops keeps the task preemptible at
+    // the op boundary — hotplug storms serialize on stop_machine, they do not
+    // fuse into one giant section.
+    script.push_back(os::Action::Compute(sim::Micros(20)));
+    script.push_back(os::Action::KernelSection(routine));
+  }
+  script.push_back(os::Action::Exit());
+  return kernel_->Spawn("hotplug_storm_" + std::to_string(salt),
+                        std::make_unique<os::ScriptBehavior>(std::move(script)), cp_task_cpus_,
+                        os::Priority::kHigh);
 }
 
 void Testbed::EnableTaiChi() {

@@ -149,6 +149,11 @@ class Testbed {
   void StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
                                        uint32_t size_bytes);
   void StopBackgroundLoad();
+  // Scales every running background source relative to the rate it was
+  // started with (diurnal load curves; factor 1.0 restores the baseline).
+  // MMPP sources keep their duty cycle — the whole day breathes, the burst
+  // shape does not change.
+  void ScaleBackgroundLoad(double factor);
   double RateForUtilization(double utilization, uint32_t size_bytes) const;
   // Flow-population synthesis for background sources started after this call
   // (fleet::LoadGen pass-through). Telemetry-only: consumes no Rng state.
@@ -174,6 +179,22 @@ class Testbed {
 
   // Spawns the standard background CP fleet (monitors) for this mode.
   void SpawnBackgroundCp();
+
+  // --- Fault injection (the scenario chaos layer drives these) ---
+  // Freezes the accelerator preprocessing pipeline: firmware hiccup / PCIe
+  // backpressure. Arrivals queue behind the stall exactly as behind a burst.
+  void StallAccelerator(sim::Duration duration);
+  // Raw per-packet tap at accelerator ingress (the scenario trace recorder).
+  // Null clears; costs one predictable branch per packet when unset.
+  void SetIngressTap(hw::Accelerator::IngressTap tap);
+  // Noisy neighbor: `count` aggressive CP tasks (Fig. 5 routine mixture,
+  // contending the shared driver lock) affined to cp_task_cpus(); each runs
+  // `iterations` profile iterations and exits (0 = forever).
+  std::vector<os::Task*> SpawnCpFlood(int count, uint64_t iterations, uint64_t salt);
+  // CPU-hotplug storm: one kHigh task issuing `ops` back-to-back
+  // stop_machine-style non-preemptible kernel sections of `routine` each —
+  // the pathological §2.3 CP behavior that starves everything co-located.
+  os::Task* SpawnHotplugStorm(int ops, sim::Duration routine, uint64_t salt);
 
   // --- Runtime Tai Chi enable/disable (staged rollout, §6.6) ---
   // Installs Tai Chi on a node built as kBaseline: brings a fresh vCPU pool
@@ -228,6 +249,7 @@ class Testbed {
   std::vector<uint32_t> queues_;  // queue id per active DP CPU.
   std::vector<std::unique_ptr<dp::PollService>> services_;
   std::vector<std::unique_ptr<dp::OpenLoopSource>> background_;
+  std::vector<double> background_base_pps_;  // Start-time rate per source.
 
   std::unordered_map<uint16_t, Sink> vm_sinks_;
   std::unordered_map<uint16_t, Sink> wire_sinks_;

@@ -44,7 +44,8 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     if (config_.tweak) {
       config_.tweak(i, cfg);
     }
-    cfg.seed = seeder.Next();
+    node->seed = seeder.Next();
+    cfg.seed = node->seed;
     node->bed = std::make_unique<exp::Testbed>(std::move(cfg));
     node->obs.trace.set_enabled(config_.enable_trace);
     node->bed->AttachObservability(&node->obs);
@@ -66,13 +67,21 @@ void Cluster::RunUntil(sim::SimTime deadline) {
     // event-pool memory still held from a burst (e.g. a VM-startup storm).
     // Cheap no-op unless pending ≪ capacity; runs on the node's own worker,
     // so the queue is only ever touched by its owner.
+    // Crashed nodes have no Testbed to step; their slot just idles until a
+    // restart. The skip is the same branch on every thread count.
     if (pool_) {
       pool_->ParallelFor(nodes_.size(), [this, next](size_t i) {
+        if (nodes_[i]->bed == nullptr) {
+          return;
+        }
         nodes_[i]->bed->sim().RunUntil(next);
         nodes_[i]->bed->sim().ShrinkEventPool();
       });
     } else {
       for (auto& node : nodes_) {
+        if (node->bed == nullptr) {
+          continue;
+        }
         node->bed->sim().RunUntil(next);
         node->bed->sim().ShrinkEventPool();
       }
@@ -95,6 +104,55 @@ void Cluster::RunUntil(sim::SimTime deadline) {
   }
 }
 
+size_t Cluster::alive_count() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    n += node->bed != nullptr ? 1 : 0;
+  }
+  return n;
+}
+
+void Cluster::CrashNode(size_t i) {
+  Node& node = *nodes_[i];
+  if (node.bed == nullptr) {
+    TAICHI_ERROR(now_, "fleet: CrashNode(%s) but the node is already down",
+                 node.name.c_str());
+    return;
+  }
+  // Power loss: the Testbed and everything inside it (events, tasks, vCPUs,
+  // in-flight packets, sketches) is gone. The host-side Observability is the
+  // flight recorder and stays — but every registered metric pointer aims into
+  // the freed Testbed, so the registry drops all registrations.
+  node.bed.reset();
+  node.obs.metrics.Clear();
+}
+
+exp::Testbed* Cluster::RestartNode(size_t i) {
+  Node& node = *nodes_[i];
+  if (node.bed != nullptr) {
+    TAICHI_ERROR(now_, "fleet: RestartNode(%s) but the node is already up",
+                 node.name.c_str());
+    return node.bed.get();
+  }
+  ++node.incarnation;
+  exp::TestbedConfig cfg = config_.node;
+  if (config_.tweak) {
+    config_.tweak(static_cast<int>(i), cfg);
+  }
+  // A reboot is a fresh random universe, deterministically derived from the
+  // node's first-boot seed and which life this is.
+  cfg.seed = node.seed ^ (0x9e3779b97f4a7c15ULL * node.incarnation);
+  node.bed = std::make_unique<exp::Testbed>(std::move(cfg));
+  // Boot settles off-camera: catch the fresh sim up to the fleet clock
+  // before re-attaching observability, so the merged trace and metric
+  // snapshots never see events behind Now(). The node lands exactly on the
+  // epoch boundary, same as every live node.
+  node.bed->sim().RunUntil(now_);
+  node.obs.trace.set_enabled(config_.enable_trace);
+  node.bed->AttachObservability(&node.obs);
+  return node.bed.get();
+}
+
 uint64_t Cluster::AddEpochHook(EpochHook hook) {
   const uint64_t id = next_hook_id_++;
   hooks_.emplace(id, std::move(hook));
@@ -115,6 +173,9 @@ sim::Summary Cluster::MergeSummaryMetric(const std::string& metric) const {
 obs::FlowMonitor Cluster::MergedFlowMonitor(FlowTap tap) const {
   obs::FlowMonitor fleet(config_.node.flow_monitor);
   for (const auto& node : nodes_) {
+    if (node->bed == nullptr) {
+      continue;  // A crashed node's sketches died with its DRAM.
+    }
     const exp::Testbed& bed = *node->bed;
     switch (tap) {
       case FlowTap::kRx:

@@ -59,6 +59,12 @@ class Cluster {
   size_t size() const { return nodes_.size(); }
   exp::Testbed& node(size_t i) { return *nodes_[i]->bed; }
   const exp::Testbed& node(size_t i) const { return *nodes_[i]->bed; }
+  // False between CrashNode(i) and RestartNode(i); node(i) is then invalid.
+  bool alive(size_t i) const { return nodes_[i]->bed != nullptr; }
+  size_t alive_count() const;
+  // Boot count: 1 after construction, +1 per RestartNode. Sources use it to
+  // recognize stale per-node handles (an event id from a previous life).
+  uint32_t incarnation(size_t i) const { return nodes_[i]->incarnation; }
   obs::Observability& observability(size_t i) { return nodes_[i]->obs; }
   const obs::Observability& observability(size_t i) const { return nodes_[i]->obs; }
   const std::string& node_name(size_t i) const { return nodes_[i]->name; }
@@ -77,6 +83,28 @@ class Cluster {
   // Hooks run at every epoch boundary; returns an id for RemoveEpochHook.
   uint64_t AddEpochHook(EpochHook hook);
   void RemoveEpochHook(uint64_t id);
+
+  // --- Node lifecycle (chaos layer) ---
+  //
+  // CrashNode destroys node i's Testbed outright — every queued event, task,
+  // in-flight packet and vCPU dies with it, exactly like power loss. The
+  // host-side Observability survives as the flight recorder (trace events up
+  // to the crash, SLO samples), but the metrics registry is cleared: its
+  // pointers aim into the freed Testbed. The node's in-Testbed flow sketches
+  // are lost with it, as a real node's DRAM would be.
+  //
+  // RestartNode boots a fresh Testbed in the slot with a seed derived from
+  // the node's original seed and its incarnation count (a reboot is a new
+  // random universe, but a deterministic one), then advances the fresh sim
+  // to the fleet clock BEFORE re-attaching observability — boot settles
+  // off-camera and the merged trace never sees events behind `Now()`. The
+  // caller re-provisions workload (background load, CP fleet, sources) after
+  // this returns; the scenario chaos engine does exactly that.
+  //
+  // Both are only legal between Run* calls (epoch boundaries), like every
+  // other cross-node action.
+  void CrashNode(size_t i);
+  exp::Testbed* RestartNode(size_t i);
 
   // --- Fleet aggregation ---
 
@@ -105,6 +133,8 @@ class Cluster {
     std::string name;
     obs::Observability obs;
     std::unique_ptr<exp::Testbed> bed;
+    uint64_t seed = 0;         // First-boot seed from the cluster stream.
+    uint32_t incarnation = 1;  // Boot count; bumped by RestartNode.
 
     explicit Node(size_t trace_capacity) : obs(trace_capacity) {}
   };

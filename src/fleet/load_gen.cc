@@ -1,6 +1,7 @@
 #include "src/fleet/load_gen.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/sim/logging.h"
 
@@ -19,30 +20,37 @@ LoadGen::LoadGen(Cluster* cluster, LoadGenConfig config)
 
 void LoadGen::Start() {
   if (running_) {
-    TAICHI_ERROR(cluster_->Now(), "load_gen: Start called twice");
+    TAICHI_ERROR(cluster_->Now(), "load_gen: Start called twice — this would stack a "
+                 "second source set on every DP CPU");
+    assert(!running_ && "LoadGen::Start called twice");
     return;
   }
   running_ = true;
   node_utils_.assign(cluster_->size(), {});
   arrival_events_.assign(cluster_->size(), sim::kInvalidEventId);
   for (size_t i = 0; i < cluster_->size(); ++i) {
-    exp::Testbed& bed = cluster_->node(i);
-    // Per-CPU averages come from the arrival stream's sibling draws so the
-    // whole node is a function of its one RNG.
-    std::vector<double>& utils = node_utils_[i];
-    for (size_t c = 0; c < bed.active_dp_cpus().size(); ++c) {
-      utils.push_back(std::clamp(
-          arrival_rngs_[i].LogNormal(config_.util_median, config_.util_sigma),
-          config_.util_min, config_.util_max));
-    }
-    bed.SetBackgroundFlows(config_.flow_count, config_.flow_skew);
-    bed.StartBackgroundBurstyLoadPerCpu(utils, config_.pkt_bytes);
-    if (config_.spawn_monitors) {
-      bed.SpawnBackgroundCp();
-    }
-    if (config_.vm_arrivals && config_.vm_arrival_rate_per_sec > 0) {
-      ScheduleArrival(i);
-    }
+    StartNode(i);
+  }
+}
+
+void LoadGen::StartNode(size_t node) {
+  exp::Testbed& bed = cluster_->node(node);
+  // Per-CPU averages come from the arrival stream's sibling draws so the
+  // whole node is a function of its one RNG.
+  std::vector<double>& utils = node_utils_[node];
+  utils.clear();
+  for (size_t c = 0; c < bed.active_dp_cpus().size(); ++c) {
+    utils.push_back(std::clamp(
+        arrival_rngs_[node].LogNormal(config_.util_median, config_.util_sigma),
+        config_.util_min, config_.util_max));
+  }
+  bed.SetBackgroundFlows(config_.flow_count, config_.flow_skew);
+  bed.StartBackgroundBurstyLoadPerCpu(utils, config_.pkt_bytes);
+  if (config_.spawn_monitors) {
+    bed.SpawnBackgroundCp();
+  }
+  if (config_.vm_arrivals && config_.vm_arrival_rate_per_sec > 0) {
+    ScheduleArrival(node);
   }
 }
 
@@ -60,6 +68,13 @@ void LoadGen::ScheduleArrival(size_t node) {
     // cp_task_cpus() is read at arrival time: workflows started after a
     // rollout wave land on the vCPUs, earlier ones stay where they began.
     b.device_manager().StartVm(b.cp_task_cpus());
+    // The rate is re-read per arrival so set_vm_rate takes effect on the
+    // next gap (diurnal modulation). A rate dropped to <= 0 parks the event.
+    if (config_.vm_arrival_rate_per_sec <= 0) {
+      b.sim().Cancel(arrival_events_[node]);
+      arrival_events_[node] = sim::kInvalidEventId;
+      return;
+    }
     const sim::Duration next = arrival_rngs_[node].ExpDuration(
         static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
     b.sim().Reschedule(arrival_events_[node], next);
@@ -72,12 +87,40 @@ void LoadGen::Stop() {
   }
   running_ = false;
   for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (!cluster_->alive(i)) {
+      continue;  // Its sources and arrival event died with the Testbed.
+    }
     cluster_->node(i).StopBackgroundLoad();
-    if (i < arrival_events_.size()) {
+    if (i < arrival_events_.size() && arrival_events_[i] != sim::kInvalidEventId) {
       cluster_->node(i).sim().Cancel(arrival_events_[i]);
       arrival_events_[i] = sim::kInvalidEventId;
     }
   }
+}
+
+void LoadGen::Start(Cluster& cluster) {
+  assert(&cluster == cluster_ && "LoadGen is bound to one cluster");
+  (void)cluster;
+  Start();
+}
+
+void LoadGen::Stop(Cluster& cluster) {
+  assert(&cluster == cluster_ && "LoadGen is bound to one cluster");
+  (void)cluster;
+  Stop();
+}
+
+void LoadGen::OnNodeCrash(Cluster&, size_t node) {
+  if (node < arrival_events_.size()) {
+    arrival_events_[node] = sim::kInvalidEventId;
+  }
+}
+
+void LoadGen::OnNodeRestart(Cluster&, size_t node) {
+  if (!running_) {
+    return;
+  }
+  StartNode(node);
 }
 
 }  // namespace taichi::fleet

@@ -7,12 +7,19 @@
 // monitor fleet plus a Poisson stream of VM-startup workflows (Fig. 17's
 // density regime), scheduled inside each node's own simulation so the whole
 // fleet stays deterministic.
+//
+// LoadGen is the canonical scenario::TrafficSource: the scenario engine
+// (and anything else that swaps traffic shapes) drives it through that
+// interface, and the chaos layer's node-lifecycle notifications let it
+// survive crash/restart churn — a rebooted node gets fresh utilization
+// draws and a fresh arrival stream from the same per-node RNG.
 #ifndef SRC_FLEET_LOAD_GEN_H_
 #define SRC_FLEET_LOAD_GEN_H_
 
 #include <vector>
 
 #include "src/fleet/cluster.h"
+#include "src/scenario/traffic_source.h"
 #include "src/sim/random.h"
 
 namespace taichi::fleet {
@@ -39,22 +46,44 @@ struct LoadGenConfig {
   uint64_t seed = 2024;
 };
 
-class LoadGen {
+class LoadGen : public scenario::TrafficSource {
  public:
   LoadGen(Cluster* cluster, LoadGenConfig config);
 
-  // Starts DP load + CP arrivals on every node. Idempotent-hostile on
-  // purpose: call once per run.
+  // Starts DP load + CP arrivals on every node. Calling Start on a running
+  // generator is a hard misuse — the second call would stack a second MMPP
+  // source set on every DP CPU and silently double the offered load, so it
+  // logs a TAICHI_ERROR and fails an assert (in every build type).
   void Start();
   // Stops the DP sources and cuts off future VM arrivals; in-flight VM
   // workflows still complete as the cluster advances.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const override { return running_; }
   // The drawn per-CPU utilizations, node-major (inspection / reporting).
+  // A restarted node's entry reflects its newest incarnation's draws.
   const std::vector<std::vector<double>>& node_utils() const { return node_utils_; }
 
+  // Scales future VM-startup arrivals (diurnal curves); effective from the
+  // next arrival. Values <= 0 pause arrivals on nodes whose next arrival
+  // fires after the change — the repeating event re-arms when raised.
+  void set_vm_rate(double per_sec) { config_.vm_arrival_rate_per_sec = per_sec; }
+  double vm_rate() const { return config_.vm_arrival_rate_per_sec; }
+
+  // --- scenario::TrafficSource ---
+  const char* name() const override { return "fig3-mix"; }
+  void Start(Cluster& cluster) override;
+  void Stop(Cluster& cluster) override;
+  // The arrival event died with the crashed node's simulation; drop the
+  // stale handle so a later Stop() cannot cancel into the replacement sim.
+  void OnNodeCrash(Cluster& cluster, size_t node) override;
+  // Re-provisions the freshly booted node: new utilization draws, new MMPP
+  // sources, monitors and a new arrival stream — all from the node's own
+  // RNG, further along the same deterministic sequence.
+  void OnNodeRestart(Cluster& cluster, size_t node) override;
+
  private:
+  void StartNode(size_t node);
   void ScheduleArrival(size_t node);
 
   Cluster* cluster_;

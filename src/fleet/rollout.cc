@@ -59,6 +59,13 @@ void Rollout::BeginWave(size_t wave, sim::SimTime now) {
   wave_ = wave;
   const size_t target = static_cast<size_t>(config_.waves[wave]);
   for (size_t i = enabled_; i < target; ++i) {
+    if (!cluster_->alive(i)) {
+      // A crashed node cannot take the wave; it reboots into baseline and a
+      // later wave (or operator action) picks it up.
+      Note(now, "wave " + std::to_string(wave) + ": node " + std::to_string(i) +
+                    " is down, skipping enable");
+      continue;
+    }
     cluster_->node(i).EnableTaiChi();
   }
   enabled_ = target;
@@ -116,7 +123,7 @@ void Rollout::OnEpoch(sim::SimTime now) {
 
 void Rollout::Rollback(sim::SimTime now) {
   for (size_t i = 0; i < enabled_; ++i) {
-    if (cluster_->node(i).taichi_enabled()) {
+    if (cluster_->alive(i) && cluster_->node(i).taichi_enabled()) {
       cluster_->node(i).DisableTaiChi();
     }
   }

@@ -88,6 +88,9 @@ void SloMonitor::AttributeHeavyFlows(Report* report) const {
   // comes out of the constant-space sketches — there is no exact per-flow
   // table anywhere on the packet path.
   for (int id : report->hotspots) {
+    if (!cluster_->alive(static_cast<size_t>(id))) {
+      continue;  // Crashed mid-window: its DP sketch died with the Testbed.
+    }
     const obs::FlowMonitor& mon = cluster_->node(static_cast<size_t>(id)).flow_dp();
     const double total = static_cast<double>(mon.total_bytes());
     for (const auto& e : mon.TopK(config_.heavy_hitters)) {

@@ -37,10 +37,24 @@ void Accelerator::RegisterMetrics(obs::MetricsRegistry& registry,
   registry.AddSummary(prefix + ".residency_us", &residency_us_);
 }
 
+void Accelerator::Stall(sim::Duration duration) {
+  if (duration <= 0) {
+    return;
+  }
+  ++stalls_;
+  const sim::SimTime resume = sim_->Now() + duration;
+  for (Queue& q : queues_) {
+    q.next_free = std::max(q.next_free, resume);
+  }
+}
+
 void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
   assert(queue < queues_.size());
   Queue& q = queues_[queue];
   ingressed_.Inc();
+  if (ingress_tap_) {
+    ingress_tap_(queue, pkt);
+  }
   if (flow_monitor_ != nullptr) {
     flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
   }

@@ -7,6 +7,7 @@
 #define SRC_HW_ACCELERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,6 +58,20 @@ class Accelerator {
   // outlive the accelerator.
   void set_flow_monitor(obs::FlowMonitor* monitor) { flow_monitor_ = monitor; }
 
+  // Raw ingress tap, fired for every packet at Ingress() call time before
+  // any pipeline effect. The scenario trace recorder uses it to capture a
+  // replayable per-node arrival stream; unset (the default) costs one
+  // predictable branch per packet. The tap must not inject new traffic.
+  using IngressTap = std::function<void(uint32_t queue, const IoPacket& pkt)>;
+  void set_ingress_tap(IngressTap tap) { ingress_tap_ = std::move(tap); }
+
+  // Fault injection: freezes the preprocessing pipeline for `duration` —
+  // every queue's next admission slot is pushed past now + duration, so
+  // arriving packets queue up behind the stall exactly as behind a burst.
+  // Models firmware hiccups / PCIe backpressure for the chaos layer.
+  void Stall(sim::Duration duration);
+  uint64_t stalls() const { return stalls_; }
+
   // A packet enters the SmartNIC bound for `queue`. Walks the probe check,
   // the preprocessing stage and the transfer stage, then publishes the
   // descriptor to the queue's ring.
@@ -93,8 +108,10 @@ class Accelerator {
   HwWorkloadProbe* probe_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
   obs::FlowMonitor* flow_monitor_ = nullptr;
+  IngressTap ingress_tap_;
   sim::Counter ingressed_;
   sim::Counter published_;
+  uint64_t stalls_ = 0;
   sim::Summary residency_us_;
 };
 

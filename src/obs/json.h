@@ -5,7 +5,9 @@
 #ifndef SRC_OBS_JSON_H_
 #define SRC_OBS_JSON_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace taichi::obs {
 
@@ -21,6 +23,85 @@ std::string JsonQuote(const std::string& s);
 // across metrics snapshots, sketch exports and bench reports.
 std::string JsonNum(double v);
 std::string JsonNum(uint64_t v);
+
+// Minimal streaming JSON writer for composite deterministic exports
+// (scenario verdicts, chaos histories): tracks nesting and comma placement
+// so multi-level reports build valid JSON without hand-managed separators.
+// All numbers route through JsonNum, so output bytes are reproducible.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  // Object member key; must be followed by a value or Begin*().
+  JsonWriter& Key(const std::string& k) {
+    Sep();
+    out_ += JsonQuote(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& v) { return Raw(JsonQuote(v)); }
+  JsonWriter& Value(const char* v) { return Raw(JsonQuote(v)); }
+  JsonWriter& Value(double v) { return Raw(JsonNum(v)); }
+  JsonWriter& Value(uint64_t v) { return Raw(JsonNum(v)); }
+  JsonWriter& Value(int64_t v) {
+    return Raw(v < 0 ? "-" + JsonNum(static_cast<uint64_t>(-v))
+                     : JsonNum(static_cast<uint64_t>(v)));
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v) { return Raw(v ? "true" : "false"); }
+
+  // Key(k).Value(v) in one call.
+  template <typename T>
+  JsonWriter& Field(const std::string& k, const T& v) {
+    return Key(k).Value(v);
+  }
+
+  // The document built so far; valid JSON once every Begin has its End.
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Sep();
+    out_ += c;
+    comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    comma_.pop_back();
+    if (!comma_.empty()) {
+      comma_.back() = true;
+    }
+    return *this;
+  }
+  JsonWriter& Raw(const std::string& token) {
+    Sep();
+    out_ += token;
+    if (!comma_.empty()) {
+      comma_.back() = true;
+    }
+    return *this;
+  }
+  void Sep() {
+    if (pending_value_) {
+      pending_value_ = false;  // Key already emitted the separator.
+      return;
+    }
+    if (!comma_.empty() && comma_.back()) {
+      out_ += ',';
+      comma_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> comma_;  // Per depth: "next element needs a comma".
+  bool pending_value_ = false;
+};
 
 }  // namespace taichi::obs
 

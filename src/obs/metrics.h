@@ -76,6 +76,11 @@ class MetricsRegistry {
   // Deregistration, for components that die before the registry.
   void Remove(const std::string& name);
   void RemovePrefix(const std::string& prefix);
+  // Drops every registration. For host-side registries that outlive their
+  // simulated node (a fleet node crash destroys the Testbed and everything
+  // registered from it); the registry must never keep pointers into freed
+  // components, and a restarted node re-registers from scratch.
+  void Clear() { metrics_.clear(); }
 
   bool Has(const std::string& name) const { return metrics_.contains(name); }
   size_t size() const { return metrics_.size(); }

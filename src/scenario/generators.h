@@ -1,0 +1,166 @@
+// Scripted traffic generators layered on the canonical Fig. 3 fleet mix.
+//
+// Each generator is a TrafficSource that wraps a fleet::LoadGen (the
+// baseline production shape) and adds one adversarial or time-varying
+// dimension on top:
+//
+//   DiurnalSource  the whole fleet breathes: a sinusoidal day/night curve
+//                  scales both the DP packet rates and the VM-startup
+//                  arrival rate between a trough and a peak factor.
+//   IncastSource   periodic fan-in bursts: many synchronized senders hit
+//                  one victim node at once, the classic partition/aggregate
+//                  microburst that stresses ring depth and poll latency.
+//   DdosSource     a volumetric flood from a handful of spoofed TEST-NET-2
+//                  source IPs (dp::OpenLoopConfig::attack_sources) pinned at
+//                  chosen victim nodes. Under Tai Chi the flood eats the DP
+//                  idle the framework would otherwise donate, so the victim
+//                  nodes' VM-startup p99 rises, the SLO monitor flags them
+//                  as hotspots, and the sketch attribution names the
+//                  attacker flows — the end-to-end detection story the
+//                  scenario suite asserts.
+//
+// All extra per-node state (the attack/incast OpenLoopSources) is owned by
+// the generator but driven by events inside the victim node's simulation,
+// so nodes still never share mutable state and `--threads` stays
+// byte-identical. Crash notifications drop the per-node objects (their
+// simulation pointers die with the Testbed); restarts rebuild them.
+#ifndef SRC_SCENARIO_GENERATORS_H_
+#define SRC_SCENARIO_GENERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/fleet/load_gen.h"
+#include "src/scenario/traffic_source.h"
+
+namespace taichi::scenario {
+
+// Owner ids (Testbed::Tag) for generator-injected packets. Distinct from the
+// background owner so delivery-sink lookups drop them instead of corrupting
+// the background sources' latency accounting.
+inline constexpr uint16_t kIncastOwner = 0x10ca;
+inline constexpr uint16_t kAttackOwner = 0xadd0;
+
+// --- Diurnal -----------------------------------------------------------------
+
+struct DiurnalConfig {
+  fleet::LoadGenConfig load;
+  sim::Duration period = sim::Millis(400);  // One simulated "day".
+  double trough = 0.40;                     // Load factor at the bottom...
+  double peak = 1.70;                       // ...and at the top of the day.
+};
+
+class DiurnalSource : public TrafficSource {
+ public:
+  explicit DiurnalSource(DiurnalConfig config) : config_(config) {}
+
+  const char* name() const override { return "diurnal"; }
+  void Start(fleet::Cluster& cluster) override;
+  void Stop(fleet::Cluster& cluster) override;
+  bool running() const override { return gen_ != nullptr && gen_->running(); }
+
+  void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
+  void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+
+  // The current day/night factor (for reports).
+  double factor() const { return factor_; }
+
+ private:
+  void Modulate(fleet::Cluster& cluster, sim::SimTime now);
+
+  DiurnalConfig config_;
+  std::unique_ptr<fleet::LoadGen> gen_;
+  double base_vm_rate_ = 0;
+  sim::SimTime day_zero_ = 0;
+  double factor_ = 1.0;
+  uint64_t hook_id_ = 0;
+};
+
+// --- Incast ------------------------------------------------------------------
+
+struct IncastConfig {
+  fleet::LoadGenConfig load;
+  int victim = 0;
+  int fan_in = 24;               // Synchronized senders per burst.
+  double per_sender_pps = 30000;  // Each sender's rate while bursting.
+  uint32_t size_bytes = 1024;
+  sim::Duration period = sim::Millis(40);
+  sim::Duration burst = sim::Millis(4);
+  sim::Duration start_after = sim::Millis(20);
+  uint64_t flow_base = 0x10ca0000;
+};
+
+class IncastSource : public TrafficSource {
+ public:
+  explicit IncastSource(IncastConfig config) : config_(config) {}
+
+  const char* name() const override { return "incast"; }
+  void Start(fleet::Cluster& cluster) override;
+  void Stop(fleet::Cluster& cluster) override;
+  bool running() const override { return gen_ != nullptr && gen_->running(); }
+
+  void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
+  void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+
+  uint64_t bursts() const { return bursts_; }
+  uint64_t incast_packets() const;
+
+ private:
+  void Build(fleet::Cluster& cluster);
+  void ScheduleBurst(fleet::Cluster& cluster, sim::Duration delay);
+  void BurstOn(fleet::Cluster& cluster);
+  void BurstOff(fleet::Cluster& cluster);
+
+  IncastConfig config_;
+  std::unique_ptr<fleet::LoadGen> gen_;
+  // Touched only by the victim node's thread once the run starts.
+  std::vector<std::unique_ptr<dp::OpenLoopSource>> senders_;
+  bool armed_ = false;
+  uint64_t bursts_ = 0;
+};
+
+// --- DDoS --------------------------------------------------------------------
+
+struct DdosConfig {
+  fleet::LoadGenConfig load;
+  std::vector<int> targets = {0, 1};  // Attacked node indices.
+  uint32_t attackers = 12;            // Spoofed TEST-NET-2 source IPs.
+  // Flood intensity per victim DP queue, as the DP utilization the flood
+  // alone would consume. High enough and the donated idle Tai Chi feeds the
+  // control plane with disappears on the victims.
+  double utilization = 0.70;
+  uint32_t size_bytes = 64;
+  sim::Duration start_after = sim::Millis(40);
+  sim::Duration duration = 0;  // 0 = flood until Stop().
+  uint64_t flow_base = 0xdd05;  // One victim service endpoint.
+};
+
+class DdosSource : public TrafficSource {
+ public:
+  explicit DdosSource(DdosConfig config) : config_(std::move(config)) {}
+
+  const char* name() const override { return "ddos"; }
+  void Start(fleet::Cluster& cluster) override;
+  void Stop(fleet::Cluster& cluster) override;
+  bool running() const override { return gen_ != nullptr && gen_->running(); }
+
+  void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
+  void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+
+  // Packets the flood pushed into victim accelerators (all targets).
+  uint64_t attack_packets() const;
+
+ private:
+  bool IsTarget(size_t node) const;
+  void ArmNode(fleet::Cluster& cluster, size_t node, sim::Duration delay);
+
+  DdosConfig config_;
+  std::unique_ptr<fleet::LoadGen> gen_;
+  // per_node_[i] holds node i's flood sources (empty for non-targets);
+  // events driving them live inside node i's simulation.
+  std::vector<std::vector<std::unique_ptr<dp::OpenLoopSource>>> per_node_;
+};
+
+}  // namespace taichi::scenario
+
+#endif  // SRC_SCENARIO_GENERATORS_H_

@@ -1,0 +1,79 @@
+// The named-scenario library: canonical, seed-parameterized experiment
+// definitions shared by bench/scenario_suite, bench/fleet_rollout
+// (--scenario) and the scenario tests.
+//
+//   baseline     the Fig. 3 fleet mix on a Tai Chi fleet — must hold the SLO.
+//   diurnal      the mix under a day/night load curve — must still hold it.
+//   incast       periodic synchronized fan-in bursts at one victim node.
+//   ddos         a spoofed-source volumetric flood at two victim nodes; the
+//                SLO monitor must flag the victims as hotspots AND the
+//                sketch attribution must name flows from the attack range.
+//   crash-churn  seeded-random node crash/auto-restart churn under the mix;
+//                every node must be back up at the end.
+//   storm        accelerator stalls + CP floods + hotplug storms (no
+//                crashes): the "everything is degraded" soak.
+//
+// Fig3DensityMix is the single definition of the paper's density-scaled
+// load shape (Fig. 3 DP mix + §6.6 VM-arrival pressure); fleet_rollout and
+// every scenario build on it instead of hand-rolling the tweak.
+#ifndef SRC_SCENARIO_LIBRARY_H_
+#define SRC_SCENARIO_LIBRARY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/load_gen.h"
+#include "src/scenario/scenario.h"
+
+namespace taichi::scenario {
+
+// The canonical Fig. 3 mix at an instance-density multiple: the LoadGen
+// shape plus the per-node Testbed tweak (devices per VM-startup workflow,
+// background monitor count) that fleet_rollout §6.6 uses.
+struct Fig3Mix {
+  fleet::LoadGenConfig load;
+  std::function<void(int, exp::TestbedConfig&)> tweak;
+};
+Fig3Mix Fig3DensityMix(int density);
+
+// The baseline named source: the Fig. 3 mix and nothing else. Builds its
+// LoadGen lazily so a spec can exist before its cluster does.
+class Fig3Source : public TrafficSource {
+ public:
+  explicit Fig3Source(fleet::LoadGenConfig config) : config_(config) {}
+
+  const char* name() const override { return "fig3-mix"; }
+  void Start(fleet::Cluster& cluster) override;
+  void Stop(fleet::Cluster& cluster) override;
+  bool running() const override { return gen_ != nullptr && gen_->running(); }
+
+  void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
+  void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+
+ private:
+  fleet::LoadGenConfig config_;
+  std::unique_ptr<fleet::LoadGen> gen_;
+};
+
+// Runtime knobs a harness may override; scenario defaults fill the rest.
+struct ScenarioOptions {
+  int nodes = 12;
+  int density = 4;
+  uint64_t seed = 42;
+  int threads = 1;
+  // 0 = the scenario's default observed-phase length.
+  sim::Duration observed = 0;
+  bool enable_trace = false;
+};
+
+// Names accepted by BuildScenario, in presentation order.
+const std::vector<std::string>& ScenarioNames();
+
+// Builds the named scenario's full spec. Unknown names return a spec with
+// an empty `name` (and a TAICHI_ERROR); callers must check.
+ScenarioSpec BuildScenario(const std::string& name, const ScenarioOptions& opts);
+
+}  // namespace taichi::scenario
+
+#endif  // SRC_SCENARIO_LIBRARY_H_

@@ -1,0 +1,192 @@
+#include "src/scenario/scenario.h"
+
+#include <algorithm>
+
+#include "src/dp/sources.h"
+#include "src/obs/json.h"
+#include "src/sim/logging.h"
+
+namespace taichi::scenario {
+
+bool IsAttackFlow(const fleet::SloMonitor::HeavyFlow& flow) {
+  return (flow.key.src_ip & dp::kAttackSrcMask) == dp::kAttackSrcBase;
+}
+
+std::string ScenarioVerdict::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("scenario", scenario);
+  w.Field("seed", seed);
+  w.Field("nodes", nodes);
+  w.Field("sim_ms", sim_ms);
+  w.Field("pass", pass);
+  w.Key("slo").BeginObject();
+  w.Field("windows", static_cast<uint64_t>(windows));
+  w.Field("breach_windows", static_cast<uint64_t>(breach_windows));
+  w.Field("hotspot_windows", static_cast<uint64_t>(hotspot_windows));
+  w.Field("attributed_windows", static_cast<uint64_t>(attributed_windows));
+  w.Field("total_samples", static_cast<uint64_t>(total_samples));
+  w.Field("worst_fleet_value_ms", worst_fleet_value);
+  w.Field("last_fleet_value_ms", last_fleet_value);
+  w.EndObject();
+  w.Key("chaos").BeginObject();
+  w.Field("crashes", crashes);
+  w.Field("restarts", restarts);
+  w.Field("stalls", stalls);
+  w.Field("floods", floods);
+  w.Field("storms", storms);
+  w.Field("alive_at_end", static_cast<uint64_t>(alive_at_end));
+  w.Field("pending_restarts", static_cast<uint64_t>(pending_restarts));
+  w.EndObject();
+  w.Key("checks").BeginArray();
+  for (const ScenarioCheck& c : checks) {
+    w.BeginObject();
+    w.Field("name", c.name);
+    w.Field("pass", c.pass);
+    w.Field("detail", c.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
+  cluster_ = std::make_unique<fleet::Cluster>(spec_.cluster);
+  source_ = spec_.make_source(*cluster_);
+  monitor_ = std::make_unique<fleet::SloMonitor>(cluster_.get(), spec_.slo);
+  if (spec_.use_chaos) {
+    chaos_ = std::make_unique<ChaosEngine>(cluster_.get(), spec_.chaos);
+    chaos_->AddListener(source_.get());
+  }
+}
+
+void ScenarioRunner::AddListener(NodeLifecycleListener* listener) {
+  extra_listeners_.push_back(listener);
+  if (chaos_ != nullptr) {
+    chaos_->AddListener(listener);
+  }
+}
+
+ScenarioVerdict ScenarioRunner::Run() {
+  ScenarioVerdict v;
+  v.scenario = spec_.name;
+  v.seed = spec_.cluster.seed;
+  v.nodes = spec_.cluster.num_nodes;
+  if (ran_) {
+    TAICHI_ERROR(cluster_->Now(), "scenario: Run called twice");
+    return v;
+  }
+  ran_ = true;
+
+  source_->Start(*cluster_);
+  if (chaos_ != nullptr) {
+    chaos_->Arm();
+  }
+
+  // Warmup: the queues fill, the sources reach steady state; the window
+  // reset below throws these samples away.
+  cluster_->RunFor(spec_.warmup);
+  monitor_->Observe();
+
+  // Observed phase: one SLO window per observe_every.
+  const sim::Duration step = std::max<sim::Duration>(1, spec_.observe_every);
+  sim::SimTime observed_end = cluster_->Now() + spec_.observed;
+  while (cluster_->Now() < observed_end) {
+    cluster_->RunFor(step);
+    const fleet::SloMonitor::Report& report = window_reports_.emplace_back(monitor_->Observe());
+    ++v.windows;
+    v.total_samples += report.total_samples;
+    if (report.total_samples > 0) {
+      v.worst_fleet_value = std::max(v.worst_fleet_value, report.fleet_value);
+      v.last_fleet_value = report.fleet_value;
+    }
+    if (report.fleet_breach) {
+      ++v.breach_windows;
+    }
+    if (!report.hotspots.empty()) {
+      ++v.hotspot_windows;
+      bool attributed = false;
+      for (const fleet::SloMonitor::HeavyFlow& f : report.fleet_heavy) {
+        attributed = attributed || IsAttackFlow(f);
+      }
+      for (const fleet::SloMonitor::NodeStat& n : report.nodes) {
+        for (const fleet::SloMonitor::HeavyFlow& f : n.heavy) {
+          attributed = attributed || IsAttackFlow(f);
+        }
+      }
+      if (attributed) {
+        ++v.attributed_windows;
+      }
+    }
+  }
+
+  // Drain: no new faults, but queued auto-restarts still fire; give
+  // stragglers a few extra epochs so the fleet ends whole.
+  if (chaos_ != nullptr) {
+    chaos_->Quiesce();
+  }
+  cluster_->RunFor(spec_.drain);
+  for (int i = 0; chaos_ != nullptr && chaos_->pending_restarts() > 0 && i < 64; ++i) {
+    cluster_->RunFor(spec_.cluster.epoch);
+  }
+  source_->Stop(*cluster_);
+  if (chaos_ != nullptr) {
+    chaos_->Disarm();
+    v.crashes = chaos_->crashes();
+    v.restarts = chaos_->restarts();
+    v.stalls = chaos_->stalls();
+    v.floods = chaos_->floods();
+    v.storms = chaos_->storms();
+    v.pending_restarts = chaos_->pending_restarts();
+  }
+  v.alive_at_end = cluster_->alive_count();
+  v.sim_ms = sim::ToSeconds(cluster_->Now()) * 1e3;
+
+  // Score the expectations.
+  const ScenarioExpectations& e = spec_.expect;
+  auto check = [&v](const std::string& name, bool pass, std::string detail) {
+    v.checks.push_back({name, pass, std::move(detail)});
+  };
+  check("fleet_samples", v.total_samples >= e.min_fleet_samples,
+        "want >= " + std::to_string(e.min_fleet_samples) + ", got " +
+            std::to_string(v.total_samples));
+  if (e.max_breach_windows != static_cast<size_t>(-1)) {
+    check("breach_windows_max", v.breach_windows <= e.max_breach_windows,
+          "want <= " + std::to_string(e.max_breach_windows) + ", got " +
+              std::to_string(v.breach_windows));
+  }
+  if (e.min_breach_windows > 0) {
+    check("breach_windows_min", v.breach_windows >= e.min_breach_windows,
+          "want >= " + std::to_string(e.min_breach_windows) + ", got " +
+              std::to_string(v.breach_windows));
+  }
+  if (e.min_hotspot_windows > 0) {
+    check("hotspot_windows", v.hotspot_windows >= e.min_hotspot_windows,
+          "want >= " + std::to_string(e.min_hotspot_windows) + ", got " +
+              std::to_string(v.hotspot_windows));
+  }
+  if (e.require_attack_attribution) {
+    check("attack_attributed", v.attributed_windows > 0,
+          "want >= 1 window naming a " + std::string("198.51.100.x") +
+              " flow, got " + std::to_string(v.attributed_windows));
+  }
+  if (e.require_crashes) {
+    check("chaos_crashed", v.crashes > 0,
+          "want >= 1 crash, got " + std::to_string(v.crashes));
+  }
+  if (e.require_full_recovery) {
+    check("full_recovery",
+          v.alive_at_end == cluster_->size() && v.pending_restarts == 0,
+          std::to_string(v.alive_at_end) + "/" + std::to_string(cluster_->size()) +
+              " nodes up, " + std::to_string(v.pending_restarts) +
+              " restarts pending");
+  }
+  v.pass = true;
+  for (const ScenarioCheck& c : v.checks) {
+    v.pass = v.pass && c.pass;
+  }
+  return v;
+}
+
+}  // namespace taichi::scenario

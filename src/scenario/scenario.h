@@ -1,0 +1,154 @@
+// The scenario runner: one deterministic end-to-end experiment binding a
+// fleet, a traffic source, an optional chaos layer and windowed SLO
+// observation into a pass/fail verdict.
+//
+// A run has four phases:
+//   warmup    the source ramps, windows are discarded;
+//   observed  the SLO monitor samples every `observe_every` and the runner
+//             tallies breach windows, hotspot windows and — when heavy-hitter
+//             attribution names a flow from the spoofed TEST-NET-2 attack
+//             range — attributed windows;
+//   drain     chaos is quiesced (pending auto-restarts still fire) and the
+//             fleet runs the churn out;
+//   verdict   the tallies are scored against the scenario's expectations.
+//
+// The verdict JSON deliberately carries no thread count and no wall-clock:
+// a scenario's report is a pure function of (spec, seed), so CI can `cmp`
+// the bytes produced with --threads 1 against --threads 4.
+#ifndef SRC_SCENARIO_SCENARIO_H_
+#define SRC_SCENARIO_SCENARIO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/cluster.h"
+#include "src/fleet/slo_monitor.h"
+#include "src/scenario/chaos.h"
+#include "src/scenario/traffic_source.h"
+
+namespace taichi::scenario {
+
+// What a scenario must show to pass. Window counts refer to the observed
+// phase's SLO windows (one per `observe_every`).
+struct ScenarioExpectations {
+  // The observed phase must produce at least this many fleet SLO samples —
+  // a verdict over a trickle of samples is noise, not a result.
+  size_t min_fleet_samples = 50;
+  // Fleet-p99-over-threshold windows: at most this many (healthy scenarios
+  // pin this low; adversarial ones leave it unbounded)...
+  size_t max_breach_windows = static_cast<size_t>(-1);
+  // ...and at least this many (a flood that never hurt anyone is a test
+  // bug, not a pass).
+  size_t min_breach_windows = 0;
+  // Windows in which at least one node was flagged as a hotspot.
+  size_t min_hotspot_windows = 0;
+  // Require >= 1 window whose hotspot heavy-hitter attribution named a flow
+  // from the spoofed attack source range (dp::kAttackSrcBase) — the
+  // end-to-end DDoS detection story.
+  bool require_attack_attribution = false;
+  // Chaos must actually have crashed something.
+  bool require_crashes = false;
+  // Every node is back up (and no restart is pending) after the drain.
+  bool require_full_recovery = true;
+};
+
+// A fully-specified scenario: cluster shape, traffic, chaos, SLO policy,
+// phase durations and expectations. Built by the library (BuildScenario) or
+// by hand in tests.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  fleet::ClusterConfig cluster;
+  // Built at Run() time, after the cluster exists. Must not be null.
+  std::function<std::unique_ptr<TrafficSource>(fleet::Cluster&)> make_source;
+  // Chaos layer; engaged only when `use_chaos` is set.
+  bool use_chaos = false;
+  ChaosConfig chaos;
+  fleet::SloConfig slo;
+  sim::Duration warmup = sim::Millis(200);
+  sim::Duration observed = sim::Millis(600);
+  sim::Duration observe_every = sim::Millis(100);
+  sim::Duration drain = sim::Millis(100);
+  ScenarioExpectations expect;
+};
+
+// One scored expectation in the verdict.
+struct ScenarioCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;  // Human-readable "want X, got Y".
+};
+
+struct ScenarioVerdict {
+  std::string scenario;
+  uint64_t seed = 0;
+  int nodes = 0;
+  double sim_ms = 0;  // Fleet clock at the end of the run.
+
+  // Observed-phase tallies.
+  size_t windows = 0;
+  size_t breach_windows = 0;
+  size_t hotspot_windows = 0;
+  size_t attributed_windows = 0;
+  size_t total_samples = 0;
+  double worst_fleet_value = 0;  // Max windowed fleet percentile.
+  double last_fleet_value = 0;
+
+  // Chaos tallies (zero when chaos was off).
+  int crashes = 0;
+  int restarts = 0;
+  int stalls = 0;
+  int floods = 0;
+  int storms = 0;
+  size_t alive_at_end = 0;
+  size_t pending_restarts = 0;
+
+  bool pass = false;
+  std::vector<ScenarioCheck> checks;
+
+  // Deterministic report: a pure function of (spec, seed) — no thread
+  // count, no wall clock, byte-identical across --threads values.
+  std::string ToJson() const;
+};
+
+// Returns true when a heavy flow's source sits in the spoofed attack range.
+bool IsAttackFlow(const fleet::SloMonitor::HeavyFlow& flow);
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  // Executes warmup -> observed -> drain and scores the verdict. Call once.
+  ScenarioVerdict Run();
+
+  // Valid after construction; the cluster outlives Run() so callers can
+  // pull traces/flow sketches for sidecar outputs.
+  fleet::Cluster& cluster() { return *cluster_; }
+  TrafficSource* source() { return source_.get(); }
+  ChaosEngine* chaos() { return chaos_.get(); }
+  const fleet::SloMonitor& monitor() const { return *monitor_; }
+  // One SLO report per observed window, in order (valid after Run()).
+  const std::vector<fleet::SloMonitor::Report>& window_reports() const {
+    return window_reports_;
+  }
+
+  // Observers notified around every chaos crash/restart (e.g. the packet
+  // trace recorder). Register before Run().
+  void AddListener(NodeLifecycleListener* listener);
+
+ private:
+  ScenarioSpec spec_;
+  std::unique_ptr<fleet::Cluster> cluster_;
+  std::unique_ptr<TrafficSource> source_;
+  std::unique_ptr<ChaosEngine> chaos_;
+  std::unique_ptr<fleet::SloMonitor> monitor_;
+  std::vector<NodeLifecycleListener*> extra_listeners_;
+  std::vector<fleet::SloMonitor::Report> window_reports_;
+  bool ran_ = false;
+};
+
+}  // namespace taichi::scenario
+
+#endif  // SRC_SCENARIO_SCENARIO_H_

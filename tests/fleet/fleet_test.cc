@@ -160,6 +160,19 @@ TEST(FleetAggregation, ClusterMergesNodeMetrics) {
                                     cluster.node(1).device_manager().startup_ms().sum());
 }
 
+TEST(LoadGen, DoubleStartDies) {
+  // Starting a running LoadGen would stack a second set of arrival streams
+  // on every node and silently double the offered load: TAICHI_ERROR +
+  // assert, not a quiet no-op.
+  fleet::Cluster cluster(SmallCluster(2, 7));
+  fleet::LoadGenConfig lcfg;
+  lcfg.seed = 7;
+  fleet::LoadGen load(&cluster, lcfg);
+  load.Start();
+  EXPECT_DEATH(load.Start(), "Start called twice");
+  load.Stop();
+}
+
 TEST(Cluster, FlowTelemetryFlowsThroughPacketPath) {
   // End-to-end: background traffic driven by the LoadGen must land in every
   // node's RX/DP flow sketches via the packet-path taps, and the per-node

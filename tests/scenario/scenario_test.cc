@@ -1,0 +1,268 @@
+// Scenario engine tests: the TCPT trace format, record -> replay fidelity,
+// chaos injection determinism, and the end-to-end DDoS detection story.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/fleet/cluster.h"
+#include "src/scenario/chaos.h"
+#include "src/scenario/generators.h"
+#include "src/scenario/library.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/trace_format.h"
+
+namespace taichi {
+namespace {
+
+fleet::ClusterConfig SmallCluster(int nodes, uint64_t seed) {
+  fleet::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = seed;
+  cfg.epoch = sim::Millis(5);
+  cfg.node.mode = exp::Mode::kTaiChi;
+  return cfg;
+}
+
+scenario::PacketRecord MakeRecord(sim::SimTime t, uint16_t node) {
+  scenario::PacketRecord rec;
+  rec.time = t;
+  rec.node = node;
+  rec.queue = 3;
+  rec.pkt.id = 0x1122334455667788ull;
+  rec.pkt.kind = hw::IoKind::kNetTx;
+  rec.pkt.size_bytes = 1500;
+  rec.pkt.flow = 0xfeedbeefull;
+  rec.pkt.user_tag = 0xabcdefull;
+  rec.pkt.dp_cost_hint = 250;
+  rec.pkt.flow_key.src_ip = 0x0a000001;
+  rec.pkt.flow_key.dst_ip = 0xc6336405;  // 198.51.100.5.
+  rec.pkt.flow_key.src_port = 1029;
+  rec.pkt.flow_key.dst_port = 53;
+  rec.pkt.flow_key.proto = 17;
+  return rec;
+}
+
+// --- TCPT wire format --------------------------------------------------------
+
+TEST(PacketTrace, SerializeParseRoundTripPreservesEveryField) {
+  scenario::PacketTrace trace;
+  trace.node_count = 4;
+  trace.records.push_back(MakeRecord(sim::Micros(10), 0));
+  trace.records.push_back(MakeRecord(sim::Micros(10), 2));
+  trace.records.push_back(MakeRecord(sim::Micros(11), 1));
+
+  const std::string bytes = trace.Serialize();
+  EXPECT_EQ(bytes.size(), scenario::kPacketTraceHeaderBytes +
+                              trace.records.size() * scenario::kPacketTraceRecordBytes);
+
+  scenario::PacketTrace parsed;
+  ASSERT_TRUE(scenario::PacketTrace::Parse(bytes, &parsed));
+  EXPECT_EQ(parsed.node_count, trace.node_count);
+  ASSERT_EQ(parsed.records.size(), trace.records.size());
+  for (size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_TRUE(parsed.records[i] == trace.records[i]) << "record " << i;
+  }
+  // Re-serializing the parse reproduces the bytes: the format is canonical.
+  EXPECT_EQ(parsed.Serialize(), bytes);
+}
+
+TEST(PacketTrace, ParseRejectsCorruptInput) {
+  scenario::PacketTrace trace;
+  trace.node_count = 1;
+  trace.records.push_back(MakeRecord(sim::Micros(5), 0));
+  const std::string good = trace.Serialize();
+
+  scenario::PacketTrace out;
+  out.node_count = 77;  // Sentinel: a failed parse must leave `out` untouched.
+
+  std::string bad = good;
+  bad[0] ^= 0x01;  // Magic.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(bad, &out));
+
+  bad = good;
+  bad[4] = 9;  // Version.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(bad, &out));
+
+  bad = good;
+  bad[12] = 1;  // Reserved header word must be zero.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(bad, &out));
+
+  // Truncation: drop the last byte.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(
+      std::string_view(good.data(), good.size() - 1), &out));
+
+  bad = good;
+  bad[scenario::kPacketTraceHeaderBytes + 59] = 1;  // Record pad must be zero.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(bad, &out));
+
+  bad = good;
+  bad[scenario::kPacketTraceHeaderBytes + 56] = 7;  // Invalid IoKind.
+  EXPECT_FALSE(scenario::PacketTrace::Parse(bad, &out));
+
+  EXPECT_EQ(out.node_count, 77u);
+  EXPECT_TRUE(out.records.empty());
+  // The pristine bytes still parse.
+  EXPECT_TRUE(scenario::PacketTrace::Parse(good, &out));
+}
+
+// --- Record -> replay --------------------------------------------------------
+
+TEST(PacketTrace, ReplayedRunReRecordsByteIdentically) {
+  // Record a short live run, replay the trace into a fresh same-shape
+  // cluster while re-recording, and require the re-recorded trace to equal
+  // the original byte for byte — the format's (and the replayer's)
+  // correctness contract.
+  scenario::ScenarioOptions opts;
+  opts.nodes = 2;
+  opts.density = 1;
+  opts.seed = 99;
+  opts.observed = sim::Millis(60);
+
+  std::string original;
+  {
+    scenario::ScenarioSpec spec = scenario::BuildScenario("baseline", opts);
+    ASSERT_FALSE(spec.name.empty());
+    scenario::ScenarioRunner runner(std::move(spec));
+    scenario::PacketTraceRecorder recorder(&runner.cluster());
+    recorder.Attach();
+    runner.Run();
+    const scenario::PacketTrace trace = recorder.Finish();
+    ASSERT_GT(trace.records.size(), 1000u);
+    original = trace.Serialize();
+  }
+
+  std::string replayed;
+  {
+    scenario::PacketTrace trace;
+    ASSERT_TRUE(scenario::PacketTrace::Parse(original, &trace));
+    scenario::ScenarioSpec spec = scenario::BuildScenario("baseline", opts);
+    spec.expect = scenario::ScenarioExpectations{};
+    spec.expect.min_fleet_samples = 0;
+    auto* raw = new scenario::PacketTraceReplayer(std::move(trace));
+    spec.make_source = [raw](fleet::Cluster&) -> std::unique_ptr<scenario::TrafficSource> {
+      return std::unique_ptr<scenario::TrafficSource>(raw);
+    };
+    scenario::ScenarioRunner runner(std::move(spec));
+    scenario::PacketTraceRecorder recorder(&runner.cluster());
+    recorder.Attach();
+    runner.Run();
+    EXPECT_EQ(raw->dropped_late(), 0u);
+    EXPECT_GT(raw->injected(), 1000u);
+    replayed = recorder.Finish().Serialize();
+  }
+
+  EXPECT_EQ(original.size(), replayed.size());
+  EXPECT_TRUE(original == replayed) << "re-recorded replay diverged from the original trace";
+}
+
+// --- Cluster crash / restart -------------------------------------------------
+
+TEST(ClusterChaos, CrashAndRestartKeepTheFleetStepping) {
+  fleet::Cluster cluster(SmallCluster(3, 21));
+  cluster.RunFor(sim::Millis(20));
+  EXPECT_EQ(cluster.alive_count(), 3u);
+  EXPECT_EQ(cluster.incarnation(1), 1u);
+
+  cluster.CrashNode(1);
+  EXPECT_FALSE(cluster.alive(1));
+  EXPECT_EQ(cluster.alive_count(), 2u);
+  // The fleet keeps stepping with a dead member.
+  cluster.RunFor(sim::Millis(20));
+
+  exp::Testbed* fresh = cluster.RestartNode(1);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(cluster.alive(1));
+  EXPECT_EQ(cluster.alive_count(), 3u);
+  EXPECT_EQ(cluster.incarnation(1), 2u);
+  // The reboot caught the node up to the fleet clock before rejoining.
+  EXPECT_EQ(fresh->sim().Now(), cluster.Now());
+  const sim::SimTime before = cluster.Now();
+  cluster.RunFor(sim::Millis(20));
+  EXPECT_GE(cluster.Now(), before + sim::Millis(20));
+}
+
+TEST(ClusterChaos, ScriptedChaosFiresAtEpochBoundaries) {
+  fleet::Cluster cluster(SmallCluster(3, 22));
+  scenario::ChaosConfig cfg;
+  cfg.script = {
+      {sim::Millis(10), 2, scenario::ChaosAction::Kind::kCrash, 0, 0, 0},
+      {sim::Millis(30), 2, scenario::ChaosAction::Kind::kRestart, 0, 0, 0},
+  };
+  scenario::ChaosEngine chaos(&cluster, cfg);
+  chaos.Arm();
+
+  cluster.RunFor(sim::Millis(20));
+  EXPECT_EQ(chaos.crashes(), 1);
+  EXPECT_FALSE(cluster.alive(2));
+
+  cluster.RunFor(sim::Millis(20));
+  EXPECT_EQ(chaos.restarts(), 1);
+  EXPECT_TRUE(cluster.alive(2));
+  EXPECT_EQ(cluster.alive_count(), 3u);
+
+  ASSERT_EQ(chaos.fired().size(), 2u);
+  EXPECT_EQ(chaos.fired()[0].kind, scenario::ChaosAction::Kind::kCrash);
+  EXPECT_EQ(chaos.fired()[1].kind, scenario::ChaosAction::Kind::kRestart);
+  chaos.Disarm();
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(ScenarioDeterminism, CrashChurnVerdictIsByteIdenticalAcrossThreads) {
+  // Same seed + same script must give the same faults, the same recoveries
+  // and the same verdict bytes whether nodes step serially or on 4 threads.
+  scenario::ScenarioOptions opts;
+  opts.nodes = 6;
+  opts.density = 2;
+  opts.seed = 5;  // This seed injects 2 crashes at this scale (deterministic).
+  opts.observed = sim::Millis(300);
+
+  std::string json[2];
+  int crashes = 0;
+  for (int run = 0; run < 2; ++run) {
+    opts.threads = run == 0 ? 1 : 4;
+    scenario::ScenarioRunner runner(scenario::BuildScenario("crash-churn", opts));
+    scenario::ScenarioVerdict v = runner.Run();
+    json[run] = v.ToJson();
+    crashes = v.crashes;
+  }
+  EXPECT_TRUE(json[0] == json[1]) << "t1:\n" << json[0] << "t4:\n" << json[1];
+  // Vacuity guard: this seed does inject faults (deterministically, so this
+  // can never flake).
+  EXPECT_GT(crashes, 0);
+}
+
+// --- End-to-end detection story ----------------------------------------------
+
+TEST(ScenarioLibrary, DdosScenarioFlagsVictimAndNamesAttackFlows) {
+  scenario::ScenarioOptions opts;
+  opts.threads = 4;
+  opts.observed = sim::Millis(400);
+  scenario::ScenarioRunner runner(scenario::BuildScenario("ddos", opts));
+  scenario::ScenarioVerdict v = runner.Run();
+  EXPECT_GT(v.hotspot_windows, 0u);
+  EXPECT_GT(v.attributed_windows, 0u);
+  EXPECT_TRUE(v.pass) << v.ToJson();
+
+  // The verdict's attribution is backed by actual attack-range flows in the
+  // hotspot node's heavy-hitter list.
+  bool named = false;
+  for (const fleet::SloMonitor::Report& r : runner.window_reports()) {
+    for (int id : r.hotspots) {
+      for (const fleet::SloMonitor::HeavyFlow& f : r.nodes[static_cast<size_t>(id)].heavy) {
+        named = named || scenario::IsAttackFlow(f);
+      }
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(ScenarioLibrary, UnknownScenarioNameIsRejected) {
+  scenario::ScenarioOptions opts;
+  scenario::ScenarioSpec spec = scenario::BuildScenario("no-such-scenario", opts);
+  EXPECT_TRUE(spec.name.empty());
+}
+
+}  // namespace
+}  // namespace taichi
