@@ -22,13 +22,21 @@
 // harness), `diurnal` (day/night curve), `ddos` (spoofed flood at node 0),
 // `crash-churn` (random node crashes with auto-restart; rebooted nodes
 // rejoin the rollout's enabled set).
+//
+// `--autopilot` replaces the staged-wave rollout with the closed-loop
+// controller (src/fleet/autopilot.h) on a heterogeneous hot/cool fleet:
+// instead of pre-planned waves, the autopilot discovers which nodes need
+// Tai Chi from the SLO signal alone and leaves the cool nodes' vCPU budget
+// unspent. Prints the decision log and the enabled-vs-static vCPU contrast.
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "bench/common.h"
+#include "src/fleet/autopilot.h"
 #include "src/fleet/cluster.h"
 #include "src/fleet/load_gen.h"
 #include "src/fleet/rollout.h"
@@ -47,6 +55,111 @@ constexpr double kHostInstantiateMs = 60.0;
 // The SmartNIC-side budget: total SLO minus the host-side instantiation
 // work that happens after the device workflow completes.
 constexpr double kNicSloMs = kStartupSloMs - kHostInstantiateMs;
+
+// --autopilot: closed-loop convergence instead of staged waves. A third of
+// the fleet carries density-4 tenants (baseline cannot hold them), the rest
+// density-1 (baseline holds easily); the controller has to find the hot
+// subset from the SLO signal and leave the rest alone.
+int RunAutopilot(int argc, char** argv, int threads) {
+  fleet::ClusterConfig ccfg;
+  ccfg.num_nodes = kNodes;
+  ccfg.seed = 42;
+  ccfg.epoch = sim::Millis(5);
+  ccfg.threads = threads;
+  ccfg.node.mode = exp::Mode::kBaseline;
+  const int hot = kNodes / 3;
+  ccfg.tweak = [hot](int node, exp::TestbedConfig& cfg) {
+    const int d = node < hot ? kDensity : 1;
+    cfg.vm_startup.devices_per_vm = 6 * d;
+    cfg.monitors.count = 6 * d;
+  };
+  fleet::Cluster cluster(ccfg);
+
+  fleet::LoadGenConfig load = scenario::Fig3DensityMix(1).load;
+  load.node_vm_scale.assign(static_cast<size_t>(kNodes), 1.0);
+  for (int i = 0; i < hot; ++i) {
+    load.node_vm_scale[static_cast<size_t>(i)] = kDensity;
+  }
+  scenario::Fig3Source source(load);
+  source.Start(cluster);
+
+  // p90 against the NIC-side budget: the same defended SLO the autopilot
+  // scenarios use (one hurting node must stand out of a healthy fleet tail).
+  fleet::AutopilotConfig acfg;
+  acfg.slo.threshold = kNicSloMs;
+  acfg.slo.percentile = 90.0;
+  acfg.slo.min_samples = 8;
+  acfg.slo.hotspot_factor = 1.3;
+  fleet::Autopilot autopilot(&cluster, &source, acfg);
+
+  fleet::SloMonitor monitor(&cluster, acfg.slo);
+
+  // Phase 1: everyone baseline — the hot third breaches, the rest holds.
+  cluster.RunFor(sim::Millis(300));
+  const fleet::SloMonitor::Report before = monitor.Observe();
+
+  // Phase 2: the controller converges the fleet (enables ride hysteresis +
+  // settle windows, so give it room), then a fresh window grades the result.
+  autopilot.Arm();
+  cluster.RunFor(sim::Millis(2000));
+  monitor.Observe();  // Reset the window to post-convergence samples only.
+  cluster.RunFor(sim::Millis(400));
+  const fleet::SloMonitor::Report after = monitor.Observe();
+  autopilot.Disarm();
+  source.Stop(cluster);
+
+  std::printf("autopilot: converged in %zu windows\n", autopilot.windows());
+  for (const fleet::Autopilot::Decision& d : autopilot.decisions()) {
+    std::printf("  [%8.1f ms] %-9s node %2d%s%s  (%.2f)\n", sim::ToSeconds(d.at) * 1e3,
+                fleet::ToString(d.act), d.node, d.target >= 0 ? " -> " : "",
+                d.target >= 0 ? std::to_string(d.target).c_str() : "", d.value);
+  }
+
+  int static_vcpus = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const exp::TestbedConfig& cfg = cluster.node(i).config();
+    const int v = cfg.taichi.num_vcpus > 0 ? cfg.taichi.num_vcpus : cfg.dp_cpu_count;
+    static_vcpus += v;
+  }
+
+  sim::Table t({"Node", "Density", "Mode at end", "p90 before (ms)", "p90 after (ms)"});
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    t.AddRow({cluster.node_name(i), std::to_string(i < static_cast<size_t>(hot) ? kDensity : 1),
+              cluster.node(i).taichi_enabled() ? "taichi" : "baseline",
+              before.nodes[i].samples > 0 ? sim::Table::Num(before.nodes[i].value, 1) : "-",
+              after.nodes[i].samples > 0 ? sim::Table::Num(after.nodes[i].value, 1) : "-"});
+  }
+  t.Print();
+
+  std::printf("\nfleet p90 NIC-side startup (SLO %.0f ms)\n", kNicSloMs);
+  std::printf("  before autopilot: %8.1f ms (%zu samples)\n", before.fleet_value,
+              before.total_samples);
+  std::printf("  after autopilot:  %8.1f ms (%zu samples)\n", after.fleet_value,
+              after.total_samples);
+  std::printf("vCPU budget: %d vCPUs on %d Tai Chi nodes (static placement: %d)\n",
+              autopilot.enabled_vcpus(), autopilot.enabled_nodes(), static_vcpus);
+
+  bench::JsonReport json("fleet_rollout_autopilot", argc, argv);
+  json.Config("nodes", static_cast<int64_t>(kNodes));
+  json.Config("hot_nodes", static_cast<int64_t>(hot));
+  json.Config("seed", static_cast<int64_t>(ccfg.seed));
+  json.Config("slo_ms", kNicSloMs);
+  json.Metric("before.p90_ms", before.fleet_value);
+  json.Metric("after.p90_ms", after.fleet_value);
+  json.Metric("enables", static_cast<int64_t>(autopilot.enables()));
+  json.Metric("enabled_vcpus", static_cast<int64_t>(autopilot.enabled_vcpus()));
+  json.Metric("static_vcpus", static_cast<int64_t>(static_vcpus));
+  if (!json.Write()) {
+    return 1;
+  }
+
+  const bool shape_ok = before.fleet_breach && !after.fleet_breach &&
+                        autopilot.enabled_nodes() >= 1 &&
+                        autopilot.enabled_vcpus() < static_vcpus;
+  std::printf("\n%s: the autopilot converges the fleet under the SLO on fewer vCPUs\n",
+              shape_ok ? "PASS" : "SHAPE MISMATCH");
+  return 0;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +171,14 @@ int main(int argc, char** argv) {
   std::string flows_json_path;
   std::string scenario_name = "baseline";
   int threads = 1;
+  bool autopilot_mode = false;
+  // Boolean flags first: the valued-flag loop below stops one short of the
+  // last argument, which is exactly where a lone `--autopilot` sits.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--autopilot") == 0) {
+      autopilot_mode = true;
+    }
+  }
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -73,6 +194,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       threads = std::atoi(argv[i + 1]);
     }
+  }
+  if (autopilot_mode) {
+    return RunAutopilot(argc, argv, threads);
   }
   if (scenario_name != "baseline" && scenario_name != "diurnal" && scenario_name != "ddos" &&
       scenario_name != "crash-churn") {
@@ -98,11 +222,6 @@ int main(int argc, char** argv) {
   const scenario::Fig3Mix mix = scenario::Fig3DensityMix(kDensity);
   ccfg.tweak = mix.tweak;
   fleet::Cluster cluster(ccfg);
-
-  // The rollout is created later (phase 2); chaos restarts that land after a
-  // node was rolled onto Tai Chi must re-enable it, so the provision hook
-  // reads the rollout's enabled count through this pointer.
-  fleet::Rollout* rollout_ptr = nullptr;
 
   std::unique_ptr<scenario::TrafficSource> source;
   std::unique_ptr<scenario::ChaosEngine> chaos;
@@ -131,12 +250,10 @@ int main(int argc, char** argv) {
     chcfg.seed = 0x5eedull ^ ccfg.seed;
     chcfg.min_alive = kNodes - 2;
     chaos = std::make_unique<scenario::ChaosEngine>(&cluster, chcfg);
+    // Listener order is the restart re-provision order: the traffic source
+    // re-provisions load first, then the rollout (registered in phase 2)
+    // re-enables Tai Chi on enabled-set nodes.
     chaos->AddListener(source.get());
-    chaos->SetProvision([&rollout_ptr](size_t node, exp::Testbed& bed) {
-      if (rollout_ptr != nullptr && node < rollout_ptr->enabled_nodes()) {
-        bed.EnableTaiChi();
-      }
-    });
   }
   source->Start(cluster);
   if (chaos != nullptr) {
@@ -167,7 +284,12 @@ int main(int argc, char** argv) {
   rcfg.soak = sim::Millis(300);
   rcfg.slo = slo;
   fleet::Rollout rollout(&cluster, rcfg);
-  rollout_ptr = &rollout;
+  if (chaos != nullptr) {
+    // Chaos restarts that land after a node was rolled onto Tai Chi must
+    // re-enable it — the rollout observes them through the same lifecycle
+    // path as every other listener.
+    chaos->AddListener(&rollout);
+  }
   rollout.Start();
   const sim::SimTime rollout_deadline = cluster.Now() + sim::Seconds(5);
   while (rollout.state() == fleet::Rollout::State::kSoaking &&

@@ -35,6 +35,31 @@ void PrintVerdict(const scenario::ScenarioVerdict& v) {
     std::printf("  chaos: %d crashes, %d restarts, %d stalls, %d floods, %d storms\n",
                 v.crashes, v.restarts, v.stalls, v.floods, v.storms);
   }
+  if (v.autopilot.engaged) {
+    const scenario::ScenarioVerdict::AutopilotStats& a = v.autopilot;
+    std::printf("  autopilot: recovery %zu windows, worst streak %zu\n",
+                a.recovery_windows, a.max_breach_streak);
+    std::printf(
+        "  autopilot: %llu enables, %llu migrations, %llu boosts/%llu reverts, "
+        "%llu sheds/%llu restores, %llu evict/%llu readmit, %llu backoffs\n",
+        static_cast<unsigned long long>(a.enables),
+        static_cast<unsigned long long>(a.migrations),
+        static_cast<unsigned long long>(a.dp_boosts),
+        static_cast<unsigned long long>(a.dp_reverts),
+        static_cast<unsigned long long>(a.sheds),
+        static_cast<unsigned long long>(a.restores),
+        static_cast<unsigned long long>(a.evictions),
+        static_cast<unsigned long long>(a.readmits),
+        static_cast<unsigned long long>(a.backoffs));
+    std::printf("  autopilot: %d nodes / %d vCPUs on Tai Chi at end (static: %d)\n",
+                a.enabled_nodes, a.enabled_vcpus, a.static_vcpus);
+    for (const fleet::Autopilot::Decision& d : a.decisions) {
+      std::printf("    [%8.1f ms] %-9s node %2d%s%s  (%.2f)\n",
+                  sim::ToSeconds(d.at) * 1e3, fleet::ToString(d.act), d.node,
+                  d.target >= 0 ? " -> " : "",
+                  d.target >= 0 ? std::to_string(d.target).c_str() : "", d.value);
+    }
+  }
   for (const scenario::ScenarioCheck& c : v.checks) {
     std::printf("  [%s] %-20s %s\n", c.pass ? "ok" : "XX", c.name.c_str(),
                 c.detail.c_str());
@@ -54,6 +79,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--verbose") {
       verbose = true;
+      continue;
+    }
+    if (arg == "--no-autopilot") {
+      // The static counterfactual for the autopilot-* scenarios: same
+      // fleet, fault and clock, nobody healing. CI compares the two runs.
+      opts.autopilot = false;
       continue;
     }
     if (arg == "--list") {

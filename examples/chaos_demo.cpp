@@ -7,9 +7,9 @@
 //   1. 12 baseline nodes under the Fig. 3 mix at 4x density (fleet breaches).
 //   2. Staged rollout (2 -> 6 -> 12 nodes on Tai Chi), gated on the SLO.
 //   3. Mid-rollout, the chaos engine power-losses node03 — already running
-//      Tai Chi — and reboots it 60 ms later. The provision hook re-enables
-//      Tai Chi on the fresh Testbed, so the node rejoins its wave and the
-//      rollout still converges.
+//      Tai Chi — and reboots it 60 ms later. The rollout (a node-lifecycle
+//      listener) re-enables Tai Chi on the fresh Testbed, so the node
+//      rejoins its wave and the rollout still converges.
 //   4. Once the fleet is converged, a volumetric flood from spoofed
 //      TEST-NET-2 sources (198.51.100.x) opens up on node00. The flood eats
 //      the DP idle Tai Chi donates to the control plane, node00's VM-startup
@@ -64,7 +64,6 @@ int main() {
 
   // Scripted chaos: crash node03 at t=1.5 s — inside wave 1's settle, when
   // node03 is already running Tai Chi — and reboot it 60 ms later.
-  fleet::Rollout* rollout_ptr = nullptr;
   scenario::ChaosConfig chcfg;
   chcfg.script = {
       {sim::Millis(1500), 3, scenario::ChaosAction::Kind::kCrash, 0, 0, 0},
@@ -72,11 +71,6 @@ int main() {
   };
   scenario::ChaosEngine chaos(&cluster, chcfg);
   chaos.AddListener(&source);
-  chaos.SetProvision([&rollout_ptr](size_t node, exp::Testbed& bed) {
-    if (rollout_ptr != nullptr && node < rollout_ptr->enabled_nodes()) {
-      bed.EnableTaiChi();
-    }
-  });
 
   source.Start(cluster);
   chaos.Arm();
@@ -90,7 +84,9 @@ int main() {
   rcfg.settle = sim::Millis(600);
   rcfg.soak = sim::Millis(300);
   fleet::Rollout rollout(&cluster, rcfg);
-  rollout_ptr = &rollout;
+  // The rollout listens for lifecycle events through the same chaos path as
+  // the traffic source: a restarted enabled-set node gets Tai Chi back.
+  chaos.AddListener(&rollout);
   rollout.Start();
   const sim::SimTime deadline = cluster.Now() + sim::Seconds(5);
   while (rollout.state() == fleet::Rollout::State::kSoaking && cluster.Now() < deadline) {

@@ -380,9 +380,17 @@ os::Task* Testbed::SpawnHotplugStorm(int ops, sim::Duration routine, uint64_t sa
 }
 
 void Testbed::EnableTaiChi() {
-  if (taichi_ != nullptr || draining_) {
-    TAICHI_ERROR(sim_.Now(), "testbed: EnableTaiChi while Tai Chi is %s",
-                 draining_ ? "still draining" : "already installed");
+  if (draining_) {
+    // Re-enabling while the previous disable is still draining would install
+    // a second framework on top of vCPUs the drain poll is about to destroy.
+    // Callers must wait for taichi_draining() to clear (the autopilot does).
+    TAICHI_ERROR(sim_.Now(), "testbed: EnableTaiChi while the previous disable "
+                 "is still draining");
+    assert(!draining_ && "EnableTaiChi during an in-flight DisableTaiChi drain");
+    return;
+  }
+  if (taichi_ != nullptr) {
+    TAICHI_ERROR(sim_.Now(), "testbed: EnableTaiChi while Tai Chi is already installed");
     return;
   }
   if (config_.mode != Mode::kBaseline) {
@@ -411,11 +419,57 @@ void Testbed::EnableTaiChi() {
   }
 }
 
+void Testbed::SetDpBoost(bool on) {
+  if (on == dp_boost_) {
+    return;
+  }
+  if (taichi_ == nullptr || draining_) {
+    TAICHI_ERROR(sim_.Now(), "testbed: SetDpBoost needs an active Tai Chi");
+    return;
+  }
+  if (on) {
+    // §8 inverse repartitioning, runtime edition: pause donations so the DP
+    // CPUs run undisturbed busy-poll at full throughput. CP tasks fall back
+    // to the static CP partition; the vCPU pool idles out on its own (no
+    // backed vCPU without runnable work). The framework stays installed so
+    // reverting is cheap.
+    for (auto& service : services_) {
+      service->DetachTaiChiProbe(dp::YieldPolicy::kBusyPoll);
+    }
+    cp_task_cpus_ = cp_set_;
+    const os::CpuSet vcpus = taichi_->vcpu_set();
+    for (const auto& task : kernel_->tasks()) {
+      if (task->state() == os::TaskState::kExited) {
+        continue;
+      }
+      if (!(task->affinity() & vcpus).empty()) {
+        kernel_->SetTaskAffinity(task.get(), cp_set_);
+      }
+    }
+  } else {
+    // Resume donations: re-attach the probes and widen the CP affinity back
+    // onto the vCPU pool.
+    for (size_t i = 0; i < services_.size(); ++i) {
+      WireServiceProbe(i);
+    }
+    cp_task_cpus_ = taichi_->cp_task_cpus();
+    for (os::Task* task : monitor_tasks_) {
+      if (task->state() != os::TaskState::kExited) {
+        kernel_->SetTaskAffinity(task, cp_task_cpus_);
+      }
+    }
+  }
+  dp_boost_ = on;
+}
+
 void Testbed::DisableTaiChi() {
   if (taichi_ == nullptr || draining_) {
     TAICHI_ERROR(sim_.Now(), "testbed: DisableTaiChi without an active Tai Chi");
     return;
   }
+  // A disable supersedes any boost; from here the probes are detached and
+  // cp_task_cpus_ narrowed regardless (re-detaching is a no-op).
+  dp_boost_ = false;
   // Stop new donations, then pull every task off the vCPUs. Queued tasks
   // migrate immediately; tasks frozen inside a preempted vCPU migrate at
   // their next preemptible boundary, which requires the vCPU to keep getting

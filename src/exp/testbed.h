@@ -212,6 +212,15 @@ class Testbed {
   // True between DisableTaiChi() and the completion of the vCPU drain.
   bool taichi_draining() const { return draining_; }
 
+  // --- §8 inverse repartitioning at runtime (DP boost) ---
+  // On: pauses idle-cycle donation — detaches the Tai Chi probes so every DP
+  // CPU busy-polls at full throughput, and pulls CP tasks back to the static
+  // CP partition. The framework stays installed (the vCPU pool simply idles),
+  // so Off cheaply re-attaches the probes and widens CP affinity again.
+  // Requires an active, non-draining Tai Chi; DisableTaiChi() clears it.
+  void SetDpBoost(bool on);
+  bool dp_boost() const { return dp_boost_; }
+
   // Wires the unified observability layer (metrics + tracer) through every
   // component of the node: kernel, interrupt fabric, accelerator, HW probe,
   // the Tai Chi core (if this mode runs it), poll services, traffic sources
@@ -259,6 +268,7 @@ class Testbed {
   obs::Observability* obs_ = nullptr;
   uint32_t taichi_generation_ = 0;
   bool draining_ = false;
+  bool dp_boost_ = false;
   // Repeating 200 µs quiescence poll while a TaiChi disable drains.
   sim::EventId drain_event_ = sim::kInvalidEventId;
 };

@@ -1,0 +1,498 @@
+#include "src/fleet/autopilot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/exp/testbed.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/sim/logging.h"
+
+namespace taichi::fleet {
+
+const char* ToString(Autopilot::Act act) {
+  switch (act) {
+    case Autopilot::Act::kEnable:
+      return "enable";
+    case Autopilot::Act::kDisable:
+      return "disable";
+    case Autopilot::Act::kMigrate:
+      return "migrate";
+    case Autopilot::Act::kDpBoost:
+      return "dp_boost";
+    case Autopilot::Act::kDpRevert:
+      return "dp_revert";
+    case Autopilot::Act::kShed:
+      return "shed";
+    case Autopilot::Act::kRestore:
+      return "restore";
+    case Autopilot::Act::kEvict:
+      return "evict";
+    case Autopilot::Act::kReadmit:
+      return "readmit";
+    case Autopilot::Act::kBackoff:
+      return "backoff";
+  }
+  return "?";
+}
+
+Autopilot::Autopilot(Cluster* cluster, scenario::TrafficSource* source, AutopilotConfig config)
+    : cluster_(cluster),
+      source_(source),
+      config_(std::move(config)),
+      monitor_(cluster, config_.slo),
+      placer_(cluster->size(), config_.capacity, PlacePolicy::kLeastLoaded) {}
+
+Autopilot::~Autopilot() { Disarm(); }
+
+void Autopilot::Arm() {
+  if (hook_id_ != 0) {
+    TAICHI_ERROR(cluster_->Now(), "autopilot: Arm on an already-armed autopilot");
+    return;
+  }
+  const size_t n = cluster_->size();
+  breach_streak_.assign(n, 0);
+  calm_streak_.assign(n, 0);
+  fail_streak_.assign(n, 0);
+  cooldown_until_.assign(n, 0);
+  units_.assign(n, 0);
+  boost_hi_streak_.assign(n, 0);
+  boost_lo_streak_.assign(n, 0);
+  was_enabled_.assign(n, false);
+  prev_dp_work_.assign(n, 0);
+  judge_.assign(n, Judge{});
+  window_ = 0;
+  settle_until_ = 0;
+  healthy_streak_ = 0;
+
+  // Seed the placer's books from the source's current VM shares: one
+  // unit_spec per migrate_unit of share, so Fits() sees what each node is
+  // actually carrying before any move is considered.
+  placer_ = Placer(n, config_.capacity, PlacePolicy::kLeastLoaded);
+  for (size_t i = 0; i < n; ++i) {
+    const double share = source_ != nullptr ? source_->VmShare(i) : 1.0;
+    const int want = config_.migrate_unit > 0
+                         ? static_cast<int>(std::llround(share / config_.migrate_unit))
+                         : 0;
+    for (int u = 0; u < want; ++u) {
+      if (!placer_.PlaceOn(static_cast<int>(i), config_.unit_spec).admitted) {
+        TAICHI_ERROR(cluster_->Now(),
+                     "autopilot: node %zu share %g exceeds capacity at unit %d", i, share, u);
+        break;
+      }
+      ++units_[i];
+    }
+    if (cluster_->alive(i)) {
+      prev_dp_work_[i] = cluster_->node(i).TotalDpWork();
+    }
+  }
+
+  last_window_at_ = cluster_->Now();
+  next_observe_ = last_window_at_ + config_.observe_every;
+  monitor_.Observe();  // Reset cursors: window 1 sees only post-Arm samples.
+  hook_id_ = cluster_->AddEpochHook([this](sim::SimTime now) { OnEpoch(now); });
+}
+
+void Autopilot::Disarm() {
+  if (hook_id_ != 0) {
+    cluster_->RemoveEpochHook(hook_id_);
+    hook_id_ = 0;
+  }
+}
+
+void Autopilot::OnEpoch(sim::SimTime now) {
+  if (now < next_observe_) {
+    return;
+  }
+  OnWindow(now);
+  next_observe_ = now + config_.observe_every;
+}
+
+void Autopilot::OnWindow(sim::SimTime now) {
+  ++window_;
+  const SloMonitor::Report report = monitor_.Observe();
+  const sim::Duration elapsed = now - last_window_at_;
+  last_window_at_ = now;
+
+  const size_t n = cluster_->size();
+  std::vector<double> util(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_->alive(i)) {
+      util[i] = DpUtilization(i, elapsed);
+    }
+  }
+
+  for (size_t i = 0; i < n && i < report.nodes.size(); ++i) {
+    if (!cluster_->alive(i)) {
+      breach_streak_[i] = 0;
+      calm_streak_[i] = 0;
+      continue;
+    }
+    const SloMonitor::NodeStat& s = report.nodes[i];
+    if (s.samples >= config_.slo.min_samples && s.breach) {
+      ++breach_streak_[i];
+      calm_streak_[i] = 0;
+    } else {
+      breach_streak_[i] = 0;
+      if (s.samples >= config_.slo.min_samples) {
+        ++calm_streak_[i];
+      }
+    }
+  }
+  if (!report.fleet_breach && report.hotspots.empty()) {
+    ++healthy_streak_;
+  } else {
+    healthy_streak_ = 0;
+  }
+
+  JudgePending(report, now);
+  UpdateDpBoost(util, now);
+  const int actions = Remediate(report, now);
+  if (actions == 0) {
+    Recover(report, now);
+  }
+}
+
+// Reads the verdict on each node's last action: if the node is still
+// breaching and its percentile did not drop by min_improvement, the action
+// failed — double that node's cooldown (capped) so a remedy that is not
+// working is retried less and less often instead of hammered.
+void Autopilot::JudgePending(const SloMonitor::Report& report, sim::SimTime now) {
+  for (size_t i = 0; i < judge_.size() && i < report.nodes.size(); ++i) {
+    Judge& j = judge_[i];
+    if (!j.active || window_ < j.at_window) {
+      continue;
+    }
+    j.active = false;
+    if (!cluster_->alive(i)) {
+      continue;  // Crash already reset this node's controller state.
+    }
+    const SloMonitor::NodeStat& s = report.nodes[i];
+    const bool still_breaching = s.samples >= config_.slo.min_samples && s.breach;
+    const bool improved =
+        !still_breaching || s.value <= j.value_then * (1.0 - config_.min_improvement);
+    if (improved) {
+      fail_streak_[i] = 0;
+      continue;
+    }
+    fail_streak_[i] = std::min(fail_streak_[i] + 1, config_.max_backoff_exp);
+    cooldown_until_[i] =
+        window_ + (static_cast<size_t>(config_.cooldown_windows) << fail_streak_[i]);
+    ++backoffs_;
+    Log(now, Act::kBackoff, static_cast<int>(i), -1, s.value);
+  }
+}
+
+// §8 inverse repartitioning: per-node DP-utilization hysteresis around the
+// on/off band. Boost pauses donation (Testbed::SetDpBoost) while the data
+// plane spikes; the revert threshold sits well below the trigger so the
+// controller cannot chatter across a noisy boundary.
+void Autopilot::UpdateDpBoost(const std::vector<double>& util, sim::SimTime now) {
+  for (size_t i = 0; i < util.size(); ++i) {
+    if (!cluster_->alive(i)) {
+      boost_hi_streak_[i] = 0;
+      boost_lo_streak_[i] = 0;
+      continue;
+    }
+    exp::Testbed& bed = cluster_->node(i);
+    if (!bed.taichi_enabled()) {
+      boost_hi_streak_[i] = 0;
+      boost_lo_streak_[i] = 0;
+      continue;
+    }
+    if (!bed.dp_boost()) {
+      boost_lo_streak_[i] = 0;
+      boost_hi_streak_[i] = util[i] >= config_.dp_boost_on ? boost_hi_streak_[i] + 1 : 0;
+      if (boost_hi_streak_[i] >= config_.hysteresis_windows) {
+        bed.SetDpBoost(true);
+        boost_hi_streak_[i] = 0;
+        ++boosts_;
+        Log(now, Act::kDpBoost, static_cast<int>(i), -1, util[i]);
+      }
+    } else {
+      boost_hi_streak_[i] = 0;
+      boost_lo_streak_[i] = util[i] <= config_.dp_boost_off ? boost_lo_streak_[i] + 1 : 0;
+      if (boost_lo_streak_[i] >= config_.hysteresis_windows) {
+        bed.SetDpBoost(false);
+        boost_lo_streak_[i] = 0;
+        ++reverts_;
+        Log(now, Act::kDpRevert, static_cast<int>(i), -1, util[i]);
+      }
+    }
+  }
+}
+
+// The escalation ladder, hottest node first: enable Tai Chi -> migrate one
+// unit of VM share to the coolest viable target -> shed background load
+// fleet-wide (once per window, only while the whole fleet breaches).
+int Autopilot::Remediate(const SloMonitor::Report& report, sim::SimTime now) {
+  if (window_ < settle_until_) {
+    return 0;
+  }
+  struct Cand {
+    int node;
+    double value;
+  };
+  std::vector<Cand> cands;
+  for (size_t i = 0; i < report.nodes.size() && i < breach_streak_.size(); ++i) {
+    if (!cluster_->alive(i) || breach_streak_[i] < config_.hysteresis_windows ||
+        window_ < cooldown_until_[i]) {
+      continue;
+    }
+    cands.push_back({static_cast<int>(i), report.nodes[i].value});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.value != b.value) {
+      return a.value > b.value;
+    }
+    return a.node < b.node;
+  });
+
+  // Is the fleet lopsided (one suffering node against a mostly-healthy
+  // fleet — migration has real targets) or uniformly drowning (any "cool"
+  // target is one stale window from hot — only shedding helps)?
+  int breaching_nodes = 0;
+  int healthy_nodes = 0;
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    if (!cluster_->alive(i) || report.nodes[i].samples < config_.slo.min_samples) {
+      continue;
+    }
+    (report.nodes[i].breach ? breaching_nodes : healthy_nodes) += 1;
+  }
+  const bool lopsided = healthy_nodes > breaching_nodes;
+
+  int actions = 0;
+  bool shed_this_window = false;
+  for (const Cand& c : cands) {
+    if (actions >= config_.max_actions_per_window) {
+      break;
+    }
+    const size_t i = static_cast<size_t>(c.node);
+    exp::Testbed& bed = cluster_->node(i);
+    if (bed.taichi_draining()) {
+      continue;  // Mid-drain: no lever is safe to pull until it settles.
+    }
+    if (!bed.taichi_enabled()) {
+      bed.EnableTaiChi();
+      ++enables_;
+      Log(now, Act::kEnable, c.node, -1, c.value);
+      NoteAction(i, report);
+      ++actions;
+      continue;
+    }
+    if (lopsided && source_ != nullptr && units_[i] > 0) {
+      const int target = monitor_.CoolestTarget(placer_, config_.unit_spec, c.node);
+      if (target >= 0 && source_->MigrateVmShare(i, static_cast<size_t>(target),
+                                                 config_.migrate_unit)) {
+        placer_.Release(c.node, config_.unit_spec);
+        placer_.PlaceOn(target, config_.unit_spec);
+        --units_[i];
+        ++units_[static_cast<size_t>(target)];
+        ++migrations_;
+        Log(now, Act::kMigrate, c.node, target, c.value);
+        NoteAction(i, report);
+        ++actions;
+        continue;
+      }
+    }
+    // Nothing node-local left and nowhere to move the load: if the whole
+    // fleet is breaching, degrade gracefully — one bounded shed step.
+    if (report.fleet_breach && !shed_this_window &&
+        shed_factor_ - config_.shed_step >= config_.shed_floor - 1e-9) {
+      shed_factor_ -= config_.shed_step;
+      ApplyShed();
+      shed_this_window = true;
+      ++sheds_;
+      Log(now, Act::kShed, -1, -1, shed_factor_);
+      NoteAction(i, report);
+      ++actions;
+    }
+  }
+  if (actions > 0) {
+    settle_until_ = window_ + static_cast<size_t>(config_.settle_windows);
+  }
+  return actions;
+}
+
+// The unwind path, one step per qualifying window: restore shed background
+// load first; only once nothing is shed, optionally disable Tai Chi on
+// long-calm nodes to reclaim their vCPU overhead.
+void Autopilot::Recover(const SloMonitor::Report& report, sim::SimTime now) {
+  if (healthy_streak_ < config_.recover_windows) {
+    return;
+  }
+  if (shed_factor_ < 1.0 - 1e-9) {
+    shed_factor_ = std::min(1.0, shed_factor_ + config_.shed_step);
+    ApplyShed();
+    ++restores_;
+    Log(now, Act::kRestore, -1, -1, shed_factor_);
+    healthy_streak_ = 0;
+    return;
+  }
+  if (config_.disable_after_calm <= 0) {
+    return;
+  }
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (!cluster_->alive(i) || calm_streak_[i] < config_.disable_after_calm) {
+      continue;
+    }
+    exp::Testbed& bed = cluster_->node(i);
+    if (!bed.taichi_enabled() || bed.taichi_draining()) {
+      continue;
+    }
+    const double value = i < report.nodes.size() ? report.nodes[i].value : 0.0;
+    bed.DisableTaiChi();
+    ++disables_;
+    Log(now, Act::kDisable, static_cast<int>(i), -1, value);
+    calm_streak_[i] = 0;
+    healthy_streak_ = 0;
+    return;  // One disable per window: watch the SLO before the next.
+  }
+}
+
+void Autopilot::ApplyShed() {
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->alive(i)) {
+      cluster_->node(i).ScaleBackgroundLoad(shed_factor_);
+    }
+  }
+}
+
+void Autopilot::NoteAction(size_t node, const SloMonitor::Report& report) {
+  breach_streak_[node] = 0;  // Re-accumulate hysteresis before the next act.
+  cooldown_until_[node] =
+      window_ + (static_cast<size_t>(config_.cooldown_windows) << fail_streak_[node]);
+  Judge& j = judge_[node];
+  j.active = true;
+  j.at_window = window_ + static_cast<size_t>(config_.settle_windows) + 1;
+  j.value_then = node < report.nodes.size() ? report.nodes[node].value : 0.0;
+}
+
+void Autopilot::Log(sim::SimTime at, Act act, int node, int target, double value) {
+  decisions_.push_back({at, act, node, target, value});
+}
+
+double Autopilot::DpUtilization(size_t node, sim::Duration elapsed) {
+  exp::Testbed& bed = cluster_->node(node);
+  const sim::Duration work = bed.TotalDpWork();
+  const sim::Duration delta = work - prev_dp_work_[node];
+  prev_dp_work_[node] = work;
+  const size_t cpus = bed.active_dp_cpus().size();
+  if (cpus == 0 || elapsed <= 0 || delta <= 0) {
+    return 0.0;
+  }
+  return sim::ToSeconds(delta) / (static_cast<double>(cpus) * sim::ToSeconds(elapsed));
+}
+
+void Autopilot::OnNodeCrash(Cluster& cluster, size_t node) {
+  if (hook_id_ == 0 || node >= units_.size()) {
+    return;
+  }
+  // Listeners run before the Testbed is torn down, so the Tai Chi state is
+  // still readable. A node crashed mid-drain wanted Tai Chi off: it stays
+  // baseline on restart.
+  was_enabled_[node] = cluster.node(node).taichi_enabled();
+  for (int u = 0; u < units_[node]; ++u) {
+    placer_.Release(static_cast<int>(node), config_.unit_spec);
+  }
+  breach_streak_[node] = 0;
+  calm_streak_[node] = 0;
+  fail_streak_[node] = 0;
+  boost_hi_streak_[node] = 0;
+  boost_lo_streak_[node] = 0;
+  judge_[node].active = false;
+  prev_dp_work_[node] = 0;
+  ++evictions_;
+  Log(cluster.Now(), Act::kEvict, static_cast<int>(node), -1,
+      static_cast<double>(units_[node]));
+}
+
+void Autopilot::OnNodeRestart(Cluster& cluster, size_t node) {
+  if (hook_id_ == 0 || node >= units_.size() || !cluster.alive(node)) {
+    return;
+  }
+  // Registration order puts the traffic source before the autopilot, so the
+  // node's load is already re-provisioned by the time this runs.
+  int readmitted = 0;
+  for (int u = 0; u < units_[node]; ++u) {
+    if (!placer_.PlaceOn(static_cast<int>(node), config_.unit_spec).admitted) {
+      break;  // Cannot happen on a freshly-released node; stay consistent.
+    }
+    ++readmitted;
+  }
+  units_[node] = readmitted;
+  prev_dp_work_[node] = 0;  // Fresh Testbed: DP-work counter restarts at zero.
+  ++readmits_;
+  Log(cluster.Now(), Act::kReadmit, static_cast<int>(node), -1,
+      static_cast<double>(readmitted));
+  if (was_enabled_[node]) {
+    cluster.node(node).EnableTaiChi();
+    ++enables_;
+    Log(cluster.Now(), Act::kEnable, static_cast<int>(node), -1, 0.0);
+  }
+  if (shed_factor_ < 1.0 - 1e-9) {
+    cluster.node(node).ScaleBackgroundLoad(shed_factor_);
+  }
+}
+
+int Autopilot::enabled_nodes() const {
+  int count = 0;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->alive(i) && cluster_->node(i).taichi_enabled()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Autopilot::enabled_vcpus() const {
+  int total = 0;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (!cluster_->alive(i) || !cluster_->node(i).taichi_enabled()) {
+      continue;
+    }
+    const exp::TestbedConfig& cfg = cluster_->node(i).config();
+    total += cfg.taichi.num_vcpus == 0 ? cfg.dp_cpu_count : cfg.taichi.num_vcpus;
+  }
+  return total;
+}
+
+std::string Autopilot::DecisionLogJson() const {
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const Decision& d : decisions_) {
+    w.BeginObject()
+        .Field("at_ms", sim::ToSeconds(d.at) * 1e3)
+        .Field("action", ToString(d.act))
+        .Field("node", d.node)
+        .Field("target", d.target)
+        .Field("value", d.value)
+        .EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+void Autopilot::RegisterMetrics(obs::MetricsRegistry& registry) {
+  registry.AddCounterFn("autopilot.windows", [this] { return static_cast<uint64_t>(window_); });
+  registry.AddCounterFn("autopilot.decisions",
+                        [this] { return static_cast<uint64_t>(decisions_.size()); });
+  registry.AddCounterFn("autopilot.enables", [this] { return enables_; });
+  registry.AddCounterFn("autopilot.disables", [this] { return disables_; });
+  registry.AddCounterFn("autopilot.migrations", [this] { return migrations_; });
+  registry.AddCounterFn("autopilot.dp_boosts", [this] { return boosts_; });
+  registry.AddCounterFn("autopilot.dp_reverts", [this] { return reverts_; });
+  registry.AddCounterFn("autopilot.sheds", [this] { return sheds_; });
+  registry.AddCounterFn("autopilot.restores", [this] { return restores_; });
+  registry.AddCounterFn("autopilot.evictions", [this] { return evictions_; });
+  registry.AddCounterFn("autopilot.readmits", [this] { return readmits_; });
+  registry.AddCounterFn("autopilot.backoffs", [this] { return backoffs_; });
+  registry.AddGauge("autopilot.shed_factor", [this] { return shed_factor_; });
+  registry.AddGauge("autopilot.enabled_nodes",
+                    [this] { return static_cast<double>(enabled_nodes()); });
+  registry.AddGauge("autopilot.enabled_vcpus",
+                    [this] { return static_cast<double>(enabled_vcpus()); });
+}
+
+}  // namespace taichi::fleet

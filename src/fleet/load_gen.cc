@@ -16,6 +16,10 @@ LoadGen::LoadGen(Cluster* cluster, LoadGenConfig config)
   for (size_t i = 0; i < cluster_->size(); ++i) {
     arrival_rngs_.emplace_back(seeder.Next());
   }
+  vm_scale_.assign(cluster_->size(), 1.0);
+  for (size_t i = 0; i < config_.node_vm_scale.size() && i < vm_scale_.size(); ++i) {
+    vm_scale_[i] = std::max(0.0, config_.node_vm_scale[i]);
+  }
 }
 
 void LoadGen::Start() {
@@ -49,7 +53,7 @@ void LoadGen::StartNode(size_t node) {
   if (config_.spawn_monitors) {
     bed.SpawnBackgroundCp();
   }
-  if (config_.vm_arrivals && config_.vm_arrival_rate_per_sec > 0) {
+  if (config_.vm_arrivals && NodeVmRate(node) > 0) {
     ScheduleArrival(node);
   }
 }
@@ -57,7 +61,7 @@ void LoadGen::StartNode(size_t node) {
 void LoadGen::ScheduleArrival(size_t node) {
   exp::Testbed& bed = cluster_->node(node);
   const sim::Duration gap = arrival_rngs_[node].ExpDuration(
-      static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
+      static_cast<sim::Duration>(1e9 / NodeVmRate(node)));
   // One repeating event per node for the whole run; each arrival re-keys it
   // with the next exponential gap instead of building a fresh closure. The
   // RNG draw stays *after* StartVm, matching the draw order (and therefore
@@ -68,17 +72,61 @@ void LoadGen::ScheduleArrival(size_t node) {
     // cp_task_cpus() is read at arrival time: workflows started after a
     // rollout wave land on the vCPUs, earlier ones stay where they began.
     b.device_manager().StartVm(b.cp_task_cpus());
-    // The rate is re-read per arrival so set_vm_rate takes effect on the
-    // next gap (diurnal modulation). A rate dropped to <= 0 parks the event.
-    if (config_.vm_arrival_rate_per_sec <= 0) {
+    // The effective rate (global rate x per-node share) is re-read per
+    // arrival so set_vm_rate and MigrateVmShare take effect on the next gap.
+    // A rate dropped to <= 0 parks the event; ReArmArrivals restarts it.
+    if (NodeVmRate(node) <= 0) {
       b.sim().Cancel(arrival_events_[node]);
       arrival_events_[node] = sim::kInvalidEventId;
       return;
     }
     const sim::Duration next = arrival_rngs_[node].ExpDuration(
-        static_cast<sim::Duration>(1e9 / config_.vm_arrival_rate_per_sec));
+        static_cast<sim::Duration>(1e9 / NodeVmRate(node)));
     b.sim().Reschedule(arrival_events_[node], next);
   });
+}
+
+void LoadGen::ReArmArrivals(size_t node) {
+  if (!running_ || !config_.vm_arrivals || node >= arrival_events_.size()) {
+    return;
+  }
+  if (!cluster_->alive(node) || arrival_events_[node] != sim::kInvalidEventId) {
+    return;  // Dead nodes re-arm via OnNodeRestart; live streams keep going.
+  }
+  if (NodeVmRate(node) > 0) {
+    ScheduleArrival(node);
+  }
+}
+
+void LoadGen::set_vm_rate(double per_sec) {
+  const bool raised = per_sec > config_.vm_arrival_rate_per_sec;
+  config_.vm_arrival_rate_per_sec = per_sec;
+  if (raised) {
+    for (size_t i = 0; i < cluster_->size(); ++i) {
+      ReArmArrivals(i);
+    }
+  }
+}
+
+double LoadGen::VmShare(size_t node) const {
+  return node < vm_scale_.size() ? vm_scale_[node] : 1.0;
+}
+
+bool LoadGen::MigrateVmShare(size_t from, size_t to, double units) {
+  if (from >= vm_scale_.size() || to >= vm_scale_.size() || from == to || units <= 0) {
+    return false;
+  }
+  if (vm_scale_[from] + 1e-9 < units) {
+    return false;  // Cannot move more share than the node holds.
+  }
+  vm_scale_[from] -= units;
+  vm_scale_[to] += units;
+  if (running_) {
+    // The donor parks itself at its next arrival if its share hit zero; the
+    // recipient may have been parked at zero share and needs a fresh stream.
+    ReArmArrivals(to);
+  }
+  return true;
 }
 
 void LoadGen::Stop() {

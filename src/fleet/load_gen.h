@@ -39,6 +39,11 @@ struct LoadGenConfig {
   // Poisson VM-startup arrivals per node (50/s at 1x density, §6.6).
   bool vm_arrivals = true;
   double vm_arrival_rate_per_sec = 50.0;
+  // Per-node VM-arrival share: node i's effective rate is
+  // vm_arrival_rate_per_sec * node_vm_scale[i] (missing entries = 1.0).
+  // This is the heterogeneous-fleet knob and the unit the autopilot's live
+  // migration moves between nodes (see MigrateVmShare).
+  std::vector<double> node_vm_scale;
 
   // Spawn the standard background CP monitor fleet on each node.
   bool spawn_monitors = true;
@@ -65,9 +70,9 @@ class LoadGen : public scenario::TrafficSource {
   const std::vector<std::vector<double>>& node_utils() const { return node_utils_; }
 
   // Scales future VM-startup arrivals (diurnal curves); effective from the
-  // next arrival. Values <= 0 pause arrivals on nodes whose next arrival
-  // fires after the change — the repeating event re-arms when raised.
-  void set_vm_rate(double per_sec) { config_.vm_arrival_rate_per_sec = per_sec; }
+  // next arrival. Values <= 0 park arrivals on nodes whose next arrival
+  // fires after the change; raising the rate re-arms parked nodes.
+  void set_vm_rate(double per_sec);
   double vm_rate() const { return config_.vm_arrival_rate_per_sec; }
 
   // --- scenario::TrafficSource ---
@@ -81,10 +86,22 @@ class LoadGen : public scenario::TrafficSource {
   // sources, monitors and a new arrival stream — all from the node's own
   // RNG, further along the same deterministic sequence.
   void OnNodeRestart(Cluster& cluster, size_t node) override;
+  // Per-node VM share (live migration): VmShare reads the current scale,
+  // MigrateVmShare moves `units` of it between nodes, re-arming a parked
+  // arrival stream on a node whose share rises from zero.
+  double VmShare(size_t node) const override;
+  bool MigrateVmShare(size_t from, size_t to, double units) override;
 
  private:
   void StartNode(size_t node);
   void ScheduleArrival(size_t node);
+  // Effective arrival rate for `node` (base rate x per-node share).
+  double NodeVmRate(size_t node) const {
+    return config_.vm_arrival_rate_per_sec * vm_scale_[node];
+  }
+  // Restarts a parked arrival stream if the node's effective rate is
+  // positive again (after set_vm_rate or MigrateVmShare raised it).
+  void ReArmArrivals(size_t node);
 
   Cluster* cluster_;
   LoadGenConfig config_;
@@ -93,6 +110,7 @@ class LoadGen : public scenario::TrafficSource {
   // gap after each arrival (no per-arrival closure rebuild).
   std::vector<sim::EventId> arrival_events_;
   std::vector<std::vector<double>> node_utils_;
+  std::vector<double> vm_scale_;  // Current per-node share (migration moves it).
   bool running_ = false;
 };
 

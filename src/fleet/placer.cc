@@ -1,5 +1,7 @@
 #include "src/fleet/placer.h"
 
+#include <cassert>
+
 #include "src/sim/logging.h"
 
 namespace taichi::fleet {
@@ -25,6 +27,9 @@ Placer::Placer(size_t num_nodes, NodeCapacity capacity, PlacePolicy policy)
 }
 
 bool Placer::Fits(size_t node, const WorkloadSpec& spec) const {
+  if (node >= loads_.size()) {
+    return false;
+  }
   const Load& l = loads_[node];
   return l.vms + spec.vms <= capacity_.vm_slots &&
          l.dp_util + spec.dp_util <= capacity_.dp_util &&
@@ -111,6 +116,25 @@ Placement Placer::Place(const WorkloadSpec& spec) {
   return out;
 }
 
+Placement Placer::PlaceOn(int node, const WorkloadSpec& spec) {
+  Placement out;
+  if (node < 0 || static_cast<size_t>(node) >= loads_.size()) {
+    TAICHI_ERROR(0, "placer: PlaceOn invalid node %d", node);
+    ++refused_;
+    out.reason = "invalid node";
+    return out;
+  }
+  if (!Fits(static_cast<size_t>(node), spec)) {
+    ++refused_;
+    out.reason = "node lacks capacity for tenant '" + spec.tenant + "'";
+    return out;
+  }
+  Commit(static_cast<size_t>(node), spec);
+  out.admitted = true;
+  out.node = node;
+  return out;
+}
+
 void Placer::Release(int node, const WorkloadSpec& spec) {
   if (node < 0 || static_cast<size_t>(node) >= loads_.size()) {
     TAICHI_ERROR(0, "placer: release on invalid node %d", node);
@@ -121,8 +145,12 @@ void Placer::Release(int node, const WorkloadSpec& spec) {
   l.dp_util -= spec.dp_util;
   l.cp_load -= spec.cp_load;
   if (l.vms < 0 || l.dp_util < -1e-9 || l.cp_load < -1e-9) {
+    // Releasing capacity that was never admitted here (double-release, or a
+    // Release/PlaceOn pair aimed at the wrong node) silently corrupts every
+    // future admission decision — fail loudly instead of clamping it away.
     TAICHI_ERROR(0, "placer: node %d released below zero (tenant '%s')", node,
                  spec.tenant.c_str());
+    assert(false && "Placer::Release below zero: spec was never admitted on this node");
     l.vms = l.vms < 0 ? 0 : l.vms;
     l.dp_util = l.dp_util < 0 ? 0 : l.dp_util;
     l.cp_load = l.cp_load < 0 ? 0 : l.cp_load;

@@ -53,8 +53,17 @@ class Placer {
   // Picks a node for `spec` per the policy and commits the accounting, or
   // refuses when no node can hold it.
   Placement Place(const WorkloadSpec& spec);
-  // Reverses a prior placement (tenant teardown, rebalancing).
+  // Commits `spec` onto a specific node (targeted admission, e.g. a
+  // rebalancing move landing on a chosen target). Refuses when it does not
+  // fit — never overcommits.
+  Placement PlaceOn(int node, const WorkloadSpec& spec);
+  // Reverses a prior placement (tenant teardown, rebalancing). Releasing a
+  // spec that was never admitted on `node` (double-release, wrong node) is a
+  // caller bug: it corrupts capacity accounting, so it errors and asserts.
   void Release(int node, const WorkloadSpec& spec);
+
+  // Would `spec` fit on `node` right now? False for out-of-range nodes.
+  bool Fits(size_t node, const WorkloadSpec& spec) const;
 
   size_t size() const { return loads_.size(); }
   PlacePolicy policy() const { return policy_; }
@@ -70,7 +79,6 @@ class Placer {
   uint64_t refused() const { return refused_; }
 
  private:
-  bool Fits(size_t node, const WorkloadSpec& spec) const;
   void Commit(size_t node, const WorkloadSpec& spec);
 
   struct Load {

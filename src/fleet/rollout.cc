@@ -121,6 +121,23 @@ void Rollout::OnEpoch(sim::SimTime now) {
   }
 }
 
+void Rollout::OnNodeCrash(Cluster& cluster, size_t node) {
+  if (node < enabled_ && state_ != State::kRolledBack) {
+    Note(cluster.Now(), "node " + std::to_string(node) + " crashed inside the enabled set");
+  }
+}
+
+void Rollout::OnNodeRestart(Cluster& cluster, size_t node) {
+  if (node >= enabled_ || state_ == State::kRolledBack || state_ == State::kIdle) {
+    return;  // Outside the enabled set (or nothing to rejoin): stays baseline.
+  }
+  if (!cluster.alive(node)) {
+    return;
+  }
+  cluster.node(node).EnableTaiChi();
+  Note(cluster.Now(), "node " + std::to_string(node) + " restarted, Tai Chi re-enabled");
+}
+
 void Rollout::Rollback(sim::SimTime now) {
   for (size_t i = 0; i < enabled_; ++i) {
     if (cluster_->alive(i) && cluster_->node(i).taichi_enabled()) {

@@ -14,6 +14,7 @@
 
 #include "src/fleet/cluster.h"
 #include "src/fleet/slo_monitor.h"
+#include "src/scenario/traffic_source.h"
 
 namespace taichi::fleet {
 
@@ -31,7 +32,11 @@ struct RolloutConfig {
   SloConfig slo;
 };
 
-class Rollout {
+// A NodeLifecycleListener so chaos-driven death and rebirth flow through the
+// same path every other lifecycle observer uses (ChaosEngine::AddListener):
+// a node inside the enabled set that reboots comes back as baseline hardware,
+// and the rollout re-enables Tai Chi on it at the restart boundary.
+class Rollout : public scenario::NodeLifecycleListener {
  public:
   enum class State : uint8_t { kIdle, kSoaking, kDone, kRolledBack };
 
@@ -48,6 +53,14 @@ class Rollout {
   // Enables the first wave immediately and begins gating at epoch
   // boundaries. One rollout per object: calling Start twice is a misuse.
   void Start();
+
+  // --- scenario::NodeLifecycleListener (register via ChaosEngine) ---
+  // A crash inside the enabled set is only noted; the node's Tai Chi died
+  // with its Testbed.
+  void OnNodeCrash(Cluster& cluster, size_t node) override;
+  // A restarted node that belongs to the enabled set rejoins its wave:
+  // the fresh baseline Testbed gets Tai Chi re-enabled immediately.
+  void OnNodeRestart(Cluster& cluster, size_t node) override;
 
   State state() const { return state_; }
   size_t wave() const { return wave_; }

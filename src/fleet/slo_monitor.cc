@@ -119,26 +119,42 @@ SloMonitor::Report SloMonitor::Cumulative() const {
   return Evaluate({}, /*windowed=*/false, nullptr);
 }
 
-std::vector<SloMonitor::Move> SloMonitor::SuggestRebalance(const Placer& placer) const {
+int SloMonitor::CoolestTarget(const Placer& placer, const WorkloadSpec& unit,
+                              int exclude) const {
+  int coolest = -1;
+  double best = 0.0;
+  for (size_t i = 0; i < placer.size() && i < last_.nodes.size(); ++i) {
+    if (static_cast<int>(i) == exclude || last_.nodes[i].hotspot || last_.nodes[i].breach) {
+      continue;  // Never aim a move at a node that is itself suffering.
+    }
+    if (i < cluster_->size() && !cluster_->alive(i)) {
+      continue;  // Dead nodes take no traffic.
+    }
+    if (!placer.Fits(i, unit)) {
+      continue;  // The placer would refuse the admission anyway.
+    }
+    const double score = placer.LoadScore(i);
+    // Strict < keeps the tie-break at the lowest node id: deterministic
+    // across reruns and thread counts.
+    if (coolest < 0 || score < best) {
+      coolest = static_cast<int>(i);
+      best = score;
+    }
+  }
+  return coolest;
+}
+
+std::vector<SloMonitor::Move> SloMonitor::SuggestRebalance(const Placer& placer,
+                                                           const WorkloadSpec& unit) const {
   std::vector<Move> moves;
   if (placer.size() != cluster_->size()) {
     TAICHI_ERROR(cluster_->Now(), "slo: placer tracks %zu nodes but the cluster has %zu",
                  placer.size(), cluster_->size());
     return moves;
   }
+  // last_.hotspots is ascending, so the move list order is stable too.
   for (int hot : last_.hotspots) {
-    int coolest = -1;
-    double best = 0.0;
-    for (size_t i = 0; i < placer.size(); ++i) {
-      if (static_cast<int>(i) == hot || last_.nodes[i].hotspot) {
-        continue;
-      }
-      const double score = placer.LoadScore(i);
-      if (coolest < 0 || score < best) {
-        coolest = static_cast<int>(i);
-        best = score;
-      }
-    }
+    const int coolest = CoolestTarget(placer, unit, hot);
     if (coolest >= 0) {
       moves.push_back({hot, coolest});
     }

@@ -87,8 +87,19 @@ class SloMonitor {
 
   // For each hotspot in the last report, proposes moving load to the
   // coolest non-hotspot node by the placer's accounting. Advice only — the
-  // caller applies it via Placer::Release/Place and its load drivers.
-  std::vector<Move> SuggestRebalance(const Placer& placer) const;
+  // caller applies it via Placer::Release/PlaceOn and its load drivers.
+  // Targets are restricted to nodes that are alive, not themselves
+  // breaching, and where `unit` (the workload quantum a move would carry)
+  // passes Placer::Fits — no move is ever suggested that the placer would
+  // refuse. Ordering is deterministic: hotspots ascending, coolest target
+  // with the lowest node id on ties.
+  std::vector<Move> SuggestRebalance(const Placer& placer,
+                                     const WorkloadSpec& unit = WorkloadSpec{}) const;
+
+  // The coolest viable migration target for load leaving `exclude`, by the
+  // last report: alive, not a hotspot, not breaching, and with room for
+  // `unit` per the placer. -1 when nothing qualifies.
+  int CoolestTarget(const Placer& placer, const WorkloadSpec& unit, int exclude) const;
 
  private:
   Report Evaluate(const std::vector<int>& subset, bool windowed,

@@ -39,10 +39,6 @@ void ChaosEngine::AddListener(NodeLifecycleListener* listener) {
   listeners_.push_back(listener);
 }
 
-void ChaosEngine::SetProvision(std::function<void(size_t, exp::Testbed&)> provision) {
-  provision_ = std::move(provision);
-}
-
 void ChaosEngine::Arm() {
   if (hook_id_ != 0) {
     TAICHI_ERROR(cluster_->Now(), "chaos: Arm called twice");
@@ -74,12 +70,9 @@ void ChaosEngine::Restart(size_t node, sim::SimTime now) {
   if (cluster_->alive(node)) {
     return;
   }
-  exp::Testbed* bed = cluster_->RestartNode(node);
+  cluster_->RestartNode(node);
   ++restarts_;
   fired_.push_back({now, ChaosAction::Kind::kRestart, static_cast<int>(node)});
-  if (provision_) {
-    provision_(node, *bed);
-  }
   for (NodeLifecycleListener* l : listeners_) {
     l->OnNodeRestart(*cluster_, node);
   }

@@ -25,7 +25,6 @@
 #define SRC_SCENARIO_CHAOS_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/scenario/traffic_source.h"
@@ -84,13 +83,13 @@ class ChaosEngine {
   ChaosEngine(const ChaosEngine&) = delete;
   ChaosEngine& operator=(const ChaosEngine&) = delete;
 
-  // Lifecycle observers (traffic sources, trace recorder). Crash order:
-  // listeners (in registration order), then the crash; restart order: the
-  // reboot, the provision callback, then listeners.
+  // Lifecycle observers (traffic sources, trace recorder, rollout,
+  // autopilot — every party that must see death and rebirth goes through
+  // this one path). Crash order: listeners (in registration order), then the
+  // crash; restart order: the reboot, then listeners in registration order —
+  // so register load re-provisioners (the traffic source) before controllers
+  // that re-enable Tai Chi (Rollout/Autopilot).
   void AddListener(NodeLifecycleListener* listener);
-  // Optional extra re-provisioning for restarted nodes, called before the
-  // listeners (e.g. re-enable Tai Chi on a node that ran it pre-crash).
-  void SetProvision(std::function<void(size_t, exp::Testbed&)> provision);
 
   // Registers the epoch hook. Arm/Disarm pair once per run.
   void Arm();
@@ -128,7 +127,6 @@ class ChaosEngine {
   int floods_ = 0;
   int storms_ = 0;
   std::vector<NodeLifecycleListener*> listeners_;
-  std::function<void(size_t, exp::Testbed&)> provision_;
 };
 
 }  // namespace taichi::scenario

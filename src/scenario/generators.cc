@@ -293,6 +293,51 @@ void DdosSource::OnNodeRestart(fleet::Cluster& cluster, size_t node) {
   }
 }
 
+// --- SurgeSource -------------------------------------------------------------
+
+void SurgeSource::Start(fleet::Cluster& cluster) {
+  if (gen_ != nullptr) {
+    TAICHI_ERROR(cluster.Now(), "surge: Start called twice");
+    return;
+  }
+  gen_ = std::make_unique<fleet::LoadGen>(&cluster, config_.load);
+  gen_->Start();
+  applied_ = 1.0;
+  hook_id_ = cluster.AddEpochHook([this](sim::SimTime now) { Modulate(now); });
+}
+
+void SurgeSource::Modulate(sim::SimTime now) {
+  const double f =
+      (now >= config_.start && now < config_.start + config_.duration) ? config_.factor : 1.0;
+  if (f != applied_) {
+    applied_ = f;
+    gen_->set_vm_rate(config_.load.vm_arrival_rate_per_sec * f);
+  }
+}
+
+void SurgeSource::Stop(fleet::Cluster& cluster) {
+  if (gen_ == nullptr) {
+    return;
+  }
+  if (hook_id_ != 0) {
+    cluster.RemoveEpochHook(hook_id_);
+    hook_id_ = 0;
+  }
+  gen_->Stop();
+}
+
+void SurgeSource::OnNodeCrash(fleet::Cluster& cluster, size_t node) {
+  if (gen_ != nullptr) {
+    gen_->OnNodeCrash(cluster, node);
+  }
+}
+
+void SurgeSource::OnNodeRestart(fleet::Cluster& cluster, size_t node) {
+  if (gen_ != nullptr) {
+    gen_->OnNodeRestart(cluster, node);
+  }
+}
+
 uint64_t DdosSource::attack_packets() const {
   uint64_t total = 0;
   for (const auto& sources : per_node_) {

@@ -61,6 +61,10 @@ class DiurnalSource : public TrafficSource {
 
   void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
   void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+  double VmShare(size_t node) const override { return gen_ ? gen_->VmShare(node) : 1.0; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    return gen_ != nullptr && gen_->MigrateVmShare(from, to, units);
+  }
 
   // The current day/night factor (for reports).
   double factor() const { return factor_; }
@@ -101,6 +105,10 @@ class IncastSource : public TrafficSource {
 
   void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
   void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+  double VmShare(size_t node) const override { return gen_ ? gen_->VmShare(node) : 1.0; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    return gen_ != nullptr && gen_->MigrateVmShare(from, to, units);
+  }
 
   uint64_t bursts() const { return bursts_; }
   uint64_t incast_packets() const;
@@ -146,6 +154,10 @@ class DdosSource : public TrafficSource {
 
   void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
   void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+  double VmShare(size_t node) const override { return gen_ ? gen_->VmShare(node) : 1.0; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    return gen_ != nullptr && gen_->MigrateVmShare(from, to, units);
+  }
 
   // Packets the flood pushed into victim accelerators (all targets).
   uint64_t attack_packets() const;
@@ -159,6 +171,49 @@ class DdosSource : public TrafficSource {
   // per_node_[i] holds node i's flood sources (empty for non-targets);
   // events driving them live inside node i's simulation.
   std::vector<std::vector<std::unique_ptr<dp::OpenLoopSource>>> per_node_;
+};
+
+// --- Surge -------------------------------------------------------------------
+
+// Fleet-wide demand surge: the VM-startup arrival rate jumps by `factor`
+// during [start, start + duration) and falls back afterwards — the
+// "everyone deploys at once" overload the autopilot's graceful-degradation
+// path is built for. Only the CP arrival rate moves; the DP background knob
+// (ScaleBackgroundLoad) is deliberately left to the autopilot's shedding so
+// the two never fight over the same dial.
+struct SurgeConfig {
+  fleet::LoadGenConfig load;
+  sim::SimTime start = sim::Millis(500);  // Fleet-clock time the surge hits.
+  sim::Duration duration = sim::Millis(700);
+  double factor = 5.0;
+};
+
+class SurgeSource : public TrafficSource {
+ public:
+  explicit SurgeSource(SurgeConfig config) : config_(config) {}
+
+  const char* name() const override { return "surge"; }
+  void Start(fleet::Cluster& cluster) override;
+  void Stop(fleet::Cluster& cluster) override;
+  bool running() const override { return gen_ != nullptr && gen_->running(); }
+
+  void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
+  void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+  double VmShare(size_t node) const override { return gen_ ? gen_->VmShare(node) : 1.0; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    return gen_ != nullptr && gen_->MigrateVmShare(from, to, units);
+  }
+
+  // The surge multiplier currently applied (for reports).
+  double factor() const { return applied_; }
+
+ private:
+  void Modulate(sim::SimTime now);
+
+  SurgeConfig config_;
+  std::unique_ptr<fleet::LoadGen> gen_;
+  double applied_ = 1.0;
+  uint64_t hook_id_ = 0;
 };
 
 }  // namespace taichi::scenario

@@ -13,6 +13,20 @@
 //   storm        accelerator stalls + CP floods + hotplug storms (no
 //                crashes): the "everything is degraded" soak.
 //
+// The autopilot-* scenarios run a heterogeneous all-baseline fleet under the
+// fleet::Autopilot controller (src/fleet/autopilot.h) and gate on recovery:
+//
+//   autopilot-ddos         hot/cool fleet converged by the autopilot, then a
+//                          flood at an enabled hot node; the fleet p-tail
+//                          must come back under the SLO within K windows
+//                          with fewer Tai Chi vCPUs than enabling everyone.
+//   autopilot-crash-churn  the same fleet under crash/auto-restart churn;
+//                          evict/readmit/re-enable must bound the longest
+//                          unhealthy streak.
+//   autopilot-overload     a uniform fleet hit by a fleet-wide demand surge
+//                          nothing can absorb: graceful degradation must
+//                          shed background load and fully restore it after.
+//
 // Fig3DensityMix is the single definition of the paper's density-scaled
 // load shape (Fig. 3 DP mix + §6.6 VM-arrival pressure); fleet_rollout and
 // every scenario build on it instead of hand-rolling the tweak.
@@ -50,6 +64,10 @@ class Fig3Source : public TrafficSource {
 
   void OnNodeCrash(fleet::Cluster& cluster, size_t node) override;
   void OnNodeRestart(fleet::Cluster& cluster, size_t node) override;
+  double VmShare(size_t node) const override { return gen_ ? gen_->VmShare(node) : 1.0; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    return gen_ != nullptr && gen_->MigrateVmShare(from, to, units);
+  }
 
  private:
   fleet::LoadGenConfig config_;
@@ -65,6 +83,10 @@ struct ScenarioOptions {
   // 0 = the scenario's default observed-phase length.
   sim::Duration observed = 0;
   bool enable_trace = false;
+  // The autopilot-* scenarios run their controller by default; false runs
+  // the same fleet, fault and clock without it — the static counterfactual
+  // CI compares against (the breach must persist when nobody heals it).
+  bool autopilot = true;
 };
 
 // Names accepted by BuildScenario, in presentation order.

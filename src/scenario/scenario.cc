@@ -38,6 +38,40 @@ std::string ScenarioVerdict::ToJson() const {
   w.Field("alive_at_end", static_cast<uint64_t>(alive_at_end));
   w.Field("pending_restarts", static_cast<uint64_t>(pending_restarts));
   w.EndObject();
+  if (autopilot.engaged) {
+    // Emitted only when the spec engaged an autopilot, so every legacy
+    // scenario's verdict bytes (and the CI cmp gates over them) stand.
+    const AutopilotStats& a = autopilot;
+    w.Key("autopilot").BeginObject();
+    w.Field("recovery_windows", static_cast<uint64_t>(a.recovery_windows));
+    w.Field("max_breach_streak", static_cast<uint64_t>(a.max_breach_streak));
+    w.Field("enables", a.enables);
+    w.Field("disables", a.disables);
+    w.Field("migrations", a.migrations);
+    w.Field("dp_boosts", a.dp_boosts);
+    w.Field("dp_reverts", a.dp_reverts);
+    w.Field("sheds", a.sheds);
+    w.Field("restores", a.restores);
+    w.Field("evictions", a.evictions);
+    w.Field("readmits", a.readmits);
+    w.Field("backoffs", a.backoffs);
+    w.Field("shed_factor", a.shed_factor);
+    w.Field("enabled_nodes", a.enabled_nodes);
+    w.Field("enabled_vcpus", a.enabled_vcpus);
+    w.Field("static_vcpus", a.static_vcpus);
+    w.Key("decisions").BeginArray();
+    for (const fleet::Autopilot::Decision& d : a.decisions) {
+      w.BeginObject()
+          .Field("at_ms", sim::ToSeconds(d.at) * 1e3)
+          .Field("action", fleet::ToString(d.act))
+          .Field("node", d.node)
+          .Field("target", d.target)
+          .Field("value", d.value)
+          .EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.Key("checks").BeginArray();
   for (const ScenarioCheck& c : checks) {
     w.BeginObject();
@@ -58,6 +92,15 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
   if (spec_.use_chaos) {
     chaos_ = std::make_unique<ChaosEngine>(cluster_.get(), spec_.chaos);
     chaos_->AddListener(source_.get());
+  }
+  if (spec_.use_autopilot) {
+    autopilot_ = std::make_unique<fleet::Autopilot>(cluster_.get(), source_.get(),
+                                                    spec_.autopilot);
+    if (chaos_ != nullptr) {
+      // After the source: a restarted node's load is re-provisioned before
+      // the autopilot re-enables Tai Chi on it.
+      chaos_->AddListener(autopilot_.get());
+    }
   }
 }
 
@@ -82,6 +125,11 @@ ScenarioVerdict ScenarioRunner::Run() {
   source_->Start(*cluster_);
   if (chaos_ != nullptr) {
     chaos_->Arm();
+  }
+  if (autopilot_ != nullptr) {
+    // Armed before warmup: the controller may need the warmup to converge
+    // the fleet (enable Tai Chi where the shape demands it) pre-fault.
+    autopilot_->Arm();
   }
 
   // Warmup: the queues fill, the sources reach steady state; the window
@@ -143,6 +191,66 @@ ScenarioVerdict ScenarioRunner::Run() {
   v.alive_at_end = cluster_->alive_count();
   v.sim_ms = sim::ToSeconds(cluster_->Now()) * 1e3;
 
+  if (autopilot_ != nullptr) {
+    ScenarioVerdict::AutopilotStats& a = v.autopilot;
+    a.engaged = true;
+    // Recovery/streak over the observed windows: a window is unhealthy when
+    // the fleet aggregate breached or any node breached the absolute
+    // threshold on enough samples. (The relative hotspot flag is NOT part
+    // of health: a node served by its static CP partition is always slower
+    // than its Tai Chi siblings, yet can sit comfortably under the SLO.)
+    // Recovery counts post-fault windows up to and INCLUDING the last
+    // unhealthy one: the fleet has recovered only once it is healthy and
+    // stays healthy through the end of the run. A transient healthy window
+    // followed by relapse does not count.
+    size_t streak = 0;
+    bool past_fault = false;
+    size_t post_fault = 0;
+    size_t last_unhealthy = 0;
+    for (const fleet::SloMonitor::Report& r : window_reports_) {
+      bool node_breach = false;
+      for (const fleet::SloMonitor::NodeStat& n : r.nodes) {
+        node_breach = node_breach || (n.samples >= spec_.slo.min_samples && n.breach);
+      }
+      const bool unhealthy = r.fleet_breach || node_breach;
+      streak = unhealthy ? streak + 1 : 0;
+      a.max_breach_streak = std::max(a.max_breach_streak, streak);
+      past_fault = past_fault || r.at > spec_.fault_at;
+      if (past_fault) {
+        ++post_fault;
+        if (unhealthy) {
+          last_unhealthy = post_fault;
+        }
+      }
+    }
+    // Still unhealthy in the final window: never recovered — score as one
+    // worse than every window so any finite gate fails.
+    a.recovery_windows =
+        (post_fault > 0 && last_unhealthy == post_fault) ? v.windows + 1 : last_unhealthy;
+    a.enables = autopilot_->enables();
+    a.disables = autopilot_->disables();
+    a.migrations = autopilot_->migrations();
+    a.dp_boosts = autopilot_->boosts();
+    a.dp_reverts = autopilot_->reverts();
+    a.sheds = autopilot_->sheds();
+    a.restores = autopilot_->restores();
+    a.evictions = autopilot_->evictions();
+    a.readmits = autopilot_->readmits();
+    a.backoffs = autopilot_->backoffs();
+    a.shed_factor = autopilot_->shed_factor();
+    a.enabled_nodes = autopilot_->enabled_nodes();
+    a.enabled_vcpus = autopilot_->enabled_vcpus();
+    for (size_t i = 0; i < cluster_->size(); ++i) {
+      if (cluster_->alive(i)) {
+        const exp::TestbedConfig& cfg = cluster_->node(i).config();
+        a.static_vcpus +=
+            cfg.taichi.num_vcpus == 0 ? cfg.dp_cpu_count : cfg.taichi.num_vcpus;
+      }
+    }
+    a.decisions = autopilot_->decisions();
+    autopilot_->Disarm();
+  }
+
   // Score the expectations.
   const ScenarioExpectations& e = spec_.expect;
   auto check = [&v](const std::string& name, bool pass, std::string detail) {
@@ -181,6 +289,31 @@ ScenarioVerdict ScenarioRunner::Run() {
           std::to_string(v.alive_at_end) + "/" + std::to_string(cluster_->size()) +
               " nodes up, " + std::to_string(v.pending_restarts) +
               " restarts pending");
+  }
+  if (v.autopilot.engaged) {
+    const ScenarioVerdict::AutopilotStats& a = v.autopilot;
+    if (e.max_recovery_windows != static_cast<size_t>(-1)) {
+      check("recovery_windows", a.recovery_windows <= e.max_recovery_windows,
+            "want <= " + std::to_string(e.max_recovery_windows) + " post-fault, got " +
+                std::to_string(a.recovery_windows));
+    }
+    if (e.max_breach_streak != static_cast<size_t>(-1)) {
+      check("breach_streak", a.max_breach_streak <= e.max_breach_streak,
+            "want <= " + std::to_string(e.max_breach_streak) + " consecutive, got " +
+                std::to_string(a.max_breach_streak));
+    }
+    if (e.require_fewer_taichi_cpus) {
+      check("fewer_taichi_cpus",
+            a.enabled_nodes >= 1 && a.enabled_vcpus < a.static_vcpus,
+            std::to_string(a.enabled_vcpus) + " vCPUs on " +
+                std::to_string(a.enabled_nodes) + " nodes vs " +
+                std::to_string(a.static_vcpus) + " static");
+    }
+    if (e.require_shed_restored) {
+      check("shed_restored", a.sheds > 0 && a.shed_factor >= 1.0 - 1e-9,
+            std::to_string(a.sheds) + " sheds, " + std::to_string(a.restores) +
+                " restores, factor " + std::to_string(a.shed_factor) + " at end");
+    }
   }
   v.pass = true;
   for (const ScenarioCheck& c : v.checks) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fleet/autopilot.h"
 #include "src/fleet/cluster.h"
 #include "src/fleet/slo_monitor.h"
 #include "src/scenario/chaos.h"
@@ -52,6 +53,20 @@ struct ScenarioExpectations {
   bool require_crashes = false;
   // Every node is back up (and no restart is pending) after the drain.
   bool require_full_recovery = true;
+
+  // --- Autopilot expectations (scored only when the spec engages one) ---
+  // A window is "unhealthy" when the fleet breaches or any node is a
+  // hotspot. Counting observed windows after `fault_at`: the fleet must
+  // reach its first healthy window within this many.
+  size_t max_recovery_windows = static_cast<size_t>(-1);
+  // Longest run of consecutive unhealthy observed windows — the gate for
+  // recurring-fault scenarios where "recovered once" is meaningless.
+  size_t max_breach_streak = static_cast<size_t>(-1);
+  // The autopilot must end the run with Tai Chi on at least one node but
+  // fewer total vCPUs than enabling the whole fleet statically would burn.
+  bool require_fewer_taichi_cpus = false;
+  // Graceful degradation must have fired AND been fully unwound by the end.
+  bool require_shed_restored = false;
 };
 
 // A fully-specified scenario: cluster shape, traffic, chaos, SLO policy,
@@ -66,6 +81,14 @@ struct ScenarioSpec {
   // Chaos layer; engaged only when `use_chaos` is set.
   bool use_chaos = false;
   ChaosConfig chaos;
+  // Self-healing controller; engaged only when `use_autopilot` is set. The
+  // autopilot arms before warmup (it may converge the fleet pre-fault) and
+  // registers for chaos lifecycle events after the traffic source.
+  bool use_autopilot = false;
+  fleet::AutopilotConfig autopilot;
+  // Fleet-clock time the scenario's fault lands (flood opens, surge hits);
+  // recovery windows are counted from here. 0 = from the first window.
+  sim::SimTime fault_at = 0;
   fleet::SloConfig slo;
   sim::Duration warmup = sim::Millis(200);
   sim::Duration observed = sim::Millis(600);
@@ -105,6 +128,30 @@ struct ScenarioVerdict {
   size_t alive_at_end = 0;
   size_t pending_restarts = 0;
 
+  // Autopilot tallies; serialized (and scored) only when `engaged` — a
+  // non-autopilot scenario's verdict bytes are unchanged by this feature.
+  struct AutopilotStats {
+    bool engaged = false;
+    size_t recovery_windows = 0;  // Post-fault windows to first healthy one.
+    size_t max_breach_streak = 0;
+    uint64_t enables = 0;
+    uint64_t disables = 0;
+    uint64_t migrations = 0;
+    uint64_t dp_boosts = 0;
+    uint64_t dp_reverts = 0;
+    uint64_t sheds = 0;
+    uint64_t restores = 0;
+    uint64_t evictions = 0;
+    uint64_t readmits = 0;
+    uint64_t backoffs = 0;
+    double shed_factor = 1.0;
+    int enabled_nodes = 0;
+    int enabled_vcpus = 0;
+    int static_vcpus = 0;  // What enabling every node would cost.
+    std::vector<fleet::Autopilot::Decision> decisions;
+  };
+  AutopilotStats autopilot;
+
   bool pass = false;
   std::vector<ScenarioCheck> checks;
 
@@ -128,6 +175,7 @@ class ScenarioRunner {
   fleet::Cluster& cluster() { return *cluster_; }
   TrafficSource* source() { return source_.get(); }
   ChaosEngine* chaos() { return chaos_.get(); }
+  fleet::Autopilot* autopilot() { return autopilot_.get(); }
   const fleet::SloMonitor& monitor() const { return *monitor_; }
   // One SLO report per observed window, in order (valid after Run()).
   const std::vector<fleet::SloMonitor::Report>& window_reports() const {
@@ -143,6 +191,7 @@ class ScenarioRunner {
   std::unique_ptr<fleet::Cluster> cluster_;
   std::unique_ptr<TrafficSource> source_;
   std::unique_ptr<ChaosEngine> chaos_;
+  std::unique_ptr<fleet::Autopilot> autopilot_;
   std::unique_ptr<fleet::SloMonitor> monitor_;
   std::vector<NodeLifecycleListener*> extra_listeners_;
   std::vector<fleet::SloMonitor::Report> window_reports_;

@@ -57,6 +57,23 @@ class TrafficSource : public NodeLifecycleListener {
   // Default: node lifecycle is irrelevant to this source.
   void OnNodeCrash(fleet::Cluster&, size_t) override {}
   void OnNodeRestart(fleet::Cluster&, size_t) override {}
+
+  // --- Live migration (the fleet autopilot drives these) ---
+  // Current VM-arrival share of `node`, in source share units (1.0 = the
+  // configured base per-node rate). Sources that cannot migrate report 1.0.
+  virtual double VmShare(size_t node) const {
+    (void)node;
+    return 1.0;
+  }
+  // Moves `units` of VM-arrival share from node `from` to node `to`,
+  // effective at the next scheduled arrival. Returns false when the source
+  // does not support migration or `from` holds less than `units` of share.
+  virtual bool MigrateVmShare(size_t from, size_t to, double units) {
+    (void)from;
+    (void)to;
+    (void)units;
+    return false;
+  }
 };
 
 }  // namespace taichi::scenario

@@ -1,0 +1,315 @@
+// Fleet autopilot: hysteresis, the escalation ladder (enable -> migrate ->
+// shed), outcome-judged backoff, §8 DP-boost hysteresis, crash evict /
+// readmit / re-enable, and decision-log determinism.
+//
+// The SLO signal is driven through a hand-fed summary (like the SloMonitor
+// tests): each "window" adds per-node latency samples and steps the cluster
+// across one observation period, so every controller decision is a pure
+// function of the fed values.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/exp/testbed.h"
+#include "src/fleet/autopilot.h"
+#include "src/fleet/cluster.h"
+#include "src/scenario/chaos.h"
+#include "src/scenario/traffic_source.h"
+
+namespace taichi {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr sim::Duration kWindow = sim::Millis(10);
+
+// Records migrations and carries per-node shares; injects nothing.
+class FakeSource : public scenario::TrafficSource {
+ public:
+  const char* name() const override { return "fake"; }
+  void Start(fleet::Cluster&) override { running_ = true; }
+  void Stop(fleet::Cluster&) override { running_ = false; }
+  bool running() const override { return running_; }
+
+  double VmShare(size_t node) const override { return shares_[node]; }
+  bool MigrateVmShare(size_t from, size_t to, double units) override {
+    if (shares_[from] < units) {
+      return false;
+    }
+    shares_[from] -= units;
+    shares_[to] += units;
+    ++migrations_;
+    return true;
+  }
+
+  std::vector<double> shares_ = std::vector<double>(kNodes, 2.0);
+  int migrations_ = 0;
+
+ private:
+  bool running_ = false;
+};
+
+// Cluster + fed SLO metric + autopilot config tuned for 10 ms windows.
+struct Harness {
+  Harness() : cluster(ClusterCfg()) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      cluster.observability(i).metrics.AddSummary("test.lat", &lat[i]);
+    }
+    cfg.slo.metric = "test.lat";
+    cfg.slo.percentile = 50.0;
+    cfg.slo.threshold = 100.0;
+    cfg.slo.min_samples = 2;
+    cfg.observe_every = kWindow;
+    cfg.hysteresis_windows = 2;
+    cfg.settle_windows = 0;
+    cfg.cooldown_windows = 1;
+    cfg.max_actions_per_window = 4;
+  }
+
+  static fleet::ClusterConfig ClusterCfg() {
+    fleet::ClusterConfig c;
+    c.num_nodes = kNodes;
+    c.seed = 7;
+    c.epoch = sim::Millis(2);
+    return c;
+  }
+
+  // One observation window: feed each node's median, step the cluster.
+  void Window(std::initializer_list<double> per_node) {
+    size_t i = 0;
+    for (double v : per_node) {
+      lat[i].Add(v);
+      lat[i].Add(v);
+      ++i;
+    }
+    cluster.RunFor(kWindow);
+  }
+
+  fleet::Cluster cluster;
+  sim::Summary lat[kNodes];
+  FakeSource src;
+  fleet::AutopilotConfig cfg;
+};
+
+TEST(Autopilot, BreachMustPersistHysteresisWindowsBeforeEnable) {
+  Harness h;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+
+  h.Window({500, 10, 10, 10});
+  EXPECT_EQ(ap.enables(), 0u) << "one breach window must not trigger";
+  EXPECT_FALSE(h.cluster.node(0).taichi_enabled());
+
+  h.Window({500, 10, 10, 10});
+  EXPECT_EQ(ap.enables(), 1u);
+  EXPECT_TRUE(h.cluster.node(0).taichi_enabled());
+  EXPECT_FALSE(h.cluster.node(1).taichi_enabled());
+  ASSERT_FALSE(ap.decisions().empty());
+  EXPECT_EQ(ap.decisions()[0].act, fleet::Autopilot::Act::kEnable);
+  EXPECT_EQ(ap.decisions()[0].node, 0);
+}
+
+TEST(Autopilot, MigrationMovesShareAndPlacerAccounting) {
+  Harness h;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+  EXPECT_EQ(ap.placer().vms(0), 2 * h.cfg.unit_spec.vms);  // 2 seeded units.
+
+  h.Window({500, 10, 10, 10});
+  h.Window({500, 10, 10, 10});  // Enable node 0.
+  // Improved-but-still-breaching keeps the backoff quiet (500 -> 300) while
+  // hysteresis re-accumulates; the next rung on an enabled node is migrate.
+  h.Window({300, 10, 10, 10});
+  h.Window({300, 10, 10, 10});
+
+  EXPECT_EQ(ap.migrations(), 1u);
+  EXPECT_EQ(h.src.migrations_, 1);
+  EXPECT_DOUBLE_EQ(h.src.shares_[0], 1.0);
+  EXPECT_EQ(ap.placer().vms(0), 1 * h.cfg.unit_spec.vms);
+  const fleet::Autopilot::Decision& d = ap.decisions().back();
+  EXPECT_EQ(d.act, fleet::Autopilot::Act::kMigrate);
+  EXPECT_EQ(d.node, 0);
+  ASSERT_GE(d.target, 1);
+  ASSERT_LE(d.target, 3);
+  EXPECT_DOUBLE_EQ(h.src.shares_[static_cast<size_t>(d.target)], 3.0);
+  EXPECT_EQ(ap.placer().vms(static_cast<size_t>(d.target)), 3 * h.cfg.unit_spec.vms);
+}
+
+TEST(Autopilot, UniformFleetBreachShedsInsteadOfMigrating) {
+  Harness h;
+  h.cfg.recover_windows = 1;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+
+  // Everyone breaches: windows 1-2 enable all four nodes, then the fleet
+  // keeps drowning. Migration has no healthy majority to move toward, so the
+  // ladder must fall through to one bounded shed step.
+  for (int w = 0; w < 6; ++w) {
+    h.Window({500, 500, 500, 500});
+  }
+  EXPECT_EQ(ap.enables(), 4u);
+  EXPECT_EQ(ap.migrations(), 0u);
+  EXPECT_GE(ap.sheds(), 1u);
+  EXPECT_LE(ap.shed_factor(), 1.0 - h.cfg.shed_step);
+  EXPECT_GE(ap.shed_factor(), h.cfg.shed_floor);
+
+  // Healthy again: the shed steps are restored, one per qualifying window.
+  for (int w = 0; w < 8; ++w) {
+    h.Window({10, 10, 10, 10});
+  }
+  EXPECT_EQ(ap.restores(), ap.sheds());
+  EXPECT_DOUBLE_EQ(ap.shed_factor(), 1.0);
+}
+
+TEST(Autopilot, FailedActionsBackOffExponentially) {
+  Harness h;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+
+  // Node 0 never improves, whatever the controller does. Every judged
+  // action must log a backoff and stretch the node's cooldown.
+  for (int w = 0; w < 12; ++w) {
+    h.Window({500, 10, 10, 10});
+  }
+  EXPECT_GE(ap.backoffs(), 2u);
+
+  // Actions on node 0 (enable, then migrations) must space out: the gap
+  // between consecutive remediations grows with the doubling cooldown.
+  std::vector<sim::SimTime> acts;
+  for (const fleet::Autopilot::Decision& d : ap.decisions()) {
+    if (d.node == 0 && (d.act == fleet::Autopilot::Act::kEnable ||
+                        d.act == fleet::Autopilot::Act::kMigrate)) {
+      acts.push_back(d.at);
+    }
+  }
+  ASSERT_GE(acts.size(), 3u);
+  const sim::Duration gap1 = acts[1] - acts[0];
+  const sim::Duration gap2 = acts[2] - acts[1];
+  EXPECT_GT(gap2, gap1);
+}
+
+TEST(Autopilot, DpBoostEngagesOnUtilizationSpikeAndReverts) {
+  Harness h;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+
+  exp::Testbed& bed = h.cluster.node(0);
+  bed.EnableTaiChi();
+  h.cluster.RunFor(sim::Millis(4));  // vCPU bring-up.
+
+  // Steady DP load well above the on-threshold; two windows of hysteresis.
+  bed.StartBackgroundLoad(bed.RateForUtilization(0.7, 1024), 1024,
+                          dp::OpenLoopConfig::Process::kConstant);
+  h.cluster.RunFor(sim::Millis(60));
+  EXPECT_TRUE(bed.dp_boost());
+  EXPECT_EQ(ap.boosts(), 1u);
+  EXPECT_EQ(ap.reverts(), 0u);
+
+  // Load gone: utilization collapses under the off-threshold and the boost
+  // reverts after the same hysteresis.
+  bed.StopBackgroundLoad();
+  h.cluster.RunFor(sim::Millis(60));
+  EXPECT_FALSE(bed.dp_boost());
+  EXPECT_EQ(ap.reverts(), 1u);
+}
+
+TEST(Autopilot, CrashEvictsAndRestartReadmitsAndReenables) {
+  Harness h;
+  scenario::ChaosConfig ch;
+  ch.script.push_back({sim::Millis(25), 1, scenario::ChaosAction::Kind::kCrash, 0, 0, 0});
+  ch.script.push_back({sim::Millis(55), 1, scenario::ChaosAction::Kind::kRestart, 0, 0, 0});
+  scenario::ChaosEngine chaos(&h.cluster, ch);
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  chaos.AddListener(&h.src);
+  chaos.AddListener(&ap);
+  ap.Arm();
+  chaos.Arm();
+
+  // Node 1 earns Tai Chi first, so the restart has something to re-enable.
+  h.Window({10, 500, 10, 10});
+  h.Window({10, 500, 10, 10});
+  EXPECT_TRUE(h.cluster.node(1).taichi_enabled());
+  const int placed_before = ap.placer().vms(1);
+  EXPECT_GT(placed_before, 0);
+
+  h.cluster.RunFor(sim::Millis(10));  // The scripted crash fires.
+  EXPECT_FALSE(h.cluster.alive(1));
+  EXPECT_EQ(ap.evictions(), 1u);
+  EXPECT_EQ(ap.placer().vms(1), 0) << "crash must release the node's units";
+
+  h.cluster.RunFor(sim::Millis(40));  // The scripted restart fires.
+  EXPECT_TRUE(h.cluster.alive(1));
+  EXPECT_EQ(ap.readmits(), 1u);
+  EXPECT_EQ(ap.placer().vms(1), placed_before) << "restart must readmit the units";
+  EXPECT_TRUE(h.cluster.node(1).taichi_enabled()) << "restart must re-enable Tai Chi";
+
+  chaos.Disarm();
+}
+
+TEST(Autopilot, MigrationNeverTargetsADeadNode) {
+  Harness h;
+  scenario::ChaosConfig ch;
+  // Node 2 dies before any migration is possible and stays down.
+  ch.script.push_back({sim::Millis(5), 2, scenario::ChaosAction::Kind::kCrash, 0, 0, 0});
+  scenario::ChaosEngine chaos(&h.cluster, ch);
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  chaos.AddListener(&h.src);
+  chaos.AddListener(&ap);
+  ap.Arm();
+  chaos.Arm();
+
+  for (int w = 0; w < 8; ++w) {
+    h.Window({500, 10, 10, 10});
+  }
+  for (const fleet::Autopilot::Decision& d : ap.decisions()) {
+    if (d.act == fleet::Autopilot::Act::kMigrate) {
+      EXPECT_NE(d.target, 2) << "the dead node must never be a migration target";
+    }
+  }
+  EXPECT_GE(ap.migrations(), 1u);
+
+  chaos.Disarm();
+}
+
+TEST(Autopilot, DecisionLogIsIdenticalAcrossIdenticalRuns) {
+  auto run = [] {
+    Harness h;
+    fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+    ap.Arm();
+    h.Window({500, 10, 10, 10});
+    h.Window({500, 10, 10, 10});
+    h.Window({300, 10, 10, 10});
+    h.Window({300, 10, 10, 10});
+    for (int w = 0; w < 3; ++w) {
+      h.Window({10, 10, 10, 10});
+    }
+    return ap.DecisionLogJson();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a, "[]");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Autopilot, DisableAfterCalmReclaimsVcpus) {
+  Harness h;
+  h.cfg.disable_after_calm = 3;
+  fleet::Autopilot ap(&h.cluster, &h.src, h.cfg);
+  ap.Arm();
+
+  h.Window({500, 10, 10, 10});
+  h.Window({500, 10, 10, 10});
+  EXPECT_TRUE(h.cluster.node(0).taichi_enabled());
+
+  // Calm long enough: the controller hands the vCPU budget back.
+  for (int w = 0; w < 6; ++w) {
+    h.Window({10, 10, 10, 10});
+  }
+  EXPECT_EQ(ap.disables(), 1u);
+  EXPECT_FALSE(h.cluster.node(0).taichi_enabled());
+}
+
+}  // namespace
+}  // namespace taichi

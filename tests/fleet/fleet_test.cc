@@ -114,6 +114,49 @@ TEST(Placer, ReleaseRestoresCapacity) {
   EXPECT_EQ(placer.vms(static_cast<size_t>(p.node)), 0);
 }
 
+TEST(Placer, ReleaseBelowZeroDies) {
+  // Releasing a spec that was never admitted (double-release, migration
+  // bookkeeping aimed at the wrong node) corrupts every later admission
+  // decision — it must die loudly, not drift.
+  fleet::Placer placer(2, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.tenant = "ghost";
+  spec.vms = 2;
+  EXPECT_DEATH(placer.Release(0, spec), "below zero");
+}
+
+TEST(Placer, ReleaseAfterOneAdmissionDiesOnSecondRelease) {
+  fleet::Placer placer(1, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 3;
+  ASSERT_TRUE(placer.Place(spec).admitted);
+  placer.Release(0, spec);  // Legitimate.
+  EXPECT_DEATH(placer.Release(0, spec), "below zero");
+}
+
+TEST(Placer, PlaceOnTargetsTheNodeOrRefuses) {
+  fleet::NodeCapacity cap;
+  cap.vm_slots = 4;
+  fleet::Placer placer(3, cap, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 3;
+
+  // Targeted admission ignores the policy's own choice.
+  fleet::Placement p = placer.PlaceOn(2, spec);
+  ASSERT_TRUE(p.admitted);
+  EXPECT_EQ(p.node, 2);
+  EXPECT_EQ(placer.vms(2), 3);
+  EXPECT_EQ(placer.vms(0), 0);
+
+  // A full target refuses without touching the accounting, even while other
+  // nodes still have room.
+  fleet::Placement refused = placer.PlaceOn(2, spec);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(placer.vms(2), 3);
+  EXPECT_TRUE(placer.Fits(0, spec));
+  EXPECT_FALSE(placer.Fits(2, spec));
+}
+
 // --- Aggregation ---------------------------------------------------------
 
 TEST(FleetAggregation, MergeSummariesIsExactOverUnion) {
@@ -400,6 +443,70 @@ TEST_F(SloMonitorTest, DetectsHotspotsAndSuggestsRebalance) {
   ASSERT_EQ(moves.size(), 1u);
   EXPECT_EQ(moves[0].from, 2);
   EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST_F(SloMonitorTest, SuggestRebalanceIsDeterministic) {
+  cfg_.hotspot_factor = 2.0;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  // Two hotspots against a cool fleet median: the move list must come out
+  // in the same stable (ascending hotspot) order every time it is asked.
+  for (int i = 0; i < 20; ++i) {
+    lat_[0].Add(10);  // The fleet median sits firmly at 10.
+  }
+  for (int i = 0; i < 4; ++i) {
+    lat_[1].Add(50);
+    lat_[2].Add(90);
+  }
+  monitor.Observe();
+  fleet::Placer placer(3, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  const std::vector<fleet::SloMonitor::Move> a = monitor.SuggestRebalance(placer);
+  const std::vector<fleet::SloMonitor::Move> b = monitor.SuggestRebalance(placer);
+  ASSERT_EQ(a.size(), 2u);  // Vacuity guard: both hotspots produced a move.
+  ASSERT_EQ(b.size(), 2u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+    EXPECT_EQ(a[i].to, 0) << "node 0 is the only non-hotspot target";
+  }
+}
+
+TEST_F(SloMonitorTest, SuggestRebalanceNeverSuggestsAnUnfittableMove) {
+  cfg_.hotspot_factor = 2.0;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  for (int i = 0; i < 4; ++i) {
+    lat_[0].Add(10);
+    lat_[1].Add(10);
+    lat_[2].Add(90);
+  }
+  monitor.Observe();
+  // No node can hold the unit: the hotspot stays listed, the move list is
+  // empty — a suggestion the placer would refuse is worse than none.
+  fleet::NodeCapacity tiny;
+  tiny.vm_slots = 1;
+  fleet::Placer placer(3, tiny, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec unit;
+  unit.vms = 4;
+  EXPECT_TRUE(monitor.SuggestRebalance(placer, unit).empty());
+}
+
+TEST_F(SloMonitorTest, SuggestRebalanceSkipsDeadTargets) {
+  cfg_.hotspot_factor = 2.0;
+  fleet::SloMonitor monitor(&cluster_, cfg_);
+  for (int i = 0; i < 4; ++i) {
+    lat_[0].Add(10);
+    lat_[1].Add(10);
+    lat_[2].Add(90);
+  }
+  monitor.Observe();
+  fleet::Placer placer(3, fleet::NodeCapacity{}, fleet::PlacePolicy::kLeastLoaded);
+  fleet::WorkloadSpec spec;
+  spec.vms = 4;
+  placer.Place(spec);  // Node 0 carries load; node 1 would be the coolest.
+  cluster_.CrashNode(1);
+  std::vector<fleet::SloMonitor::Move> moves = monitor.SuggestRebalance(placer);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 2);
+  EXPECT_EQ(moves[0].to, 0) << "the dead node must not be a target";
 }
 
 // --- Cluster determinism -------------------------------------------------

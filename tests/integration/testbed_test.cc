@@ -131,5 +131,45 @@ TEST(TestbedTest, VmStartupStormCompletes) {
   EXPECT_GT(result.startup_ms.mean(), 1.0);
 }
 
+TEST(TestbedTest, EnableTaiChiDuringDrainDies) {
+  // Re-enabling while the previous disable is still draining would install
+  // a second framework on vCPUs the drain poll is about to destroy.
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  bed.EnableTaiChi();
+  bed.sim().RunFor(sim::Millis(5));  // vCPU bring-up completes.
+  ASSERT_TRUE(bed.taichi_enabled());
+  bed.DisableTaiChi();
+  ASSERT_TRUE(bed.taichi_draining());
+  EXPECT_DEATH(bed.EnableTaiChi(), "still draining");
+}
+
+TEST(TestbedTest, SetDpBoostRoundTripNarrowsAndWidensCpAffinity) {
+  Testbed bed(BaseConfig(Mode::kBaseline));
+  bed.EnableTaiChi();
+  bed.sim().RunFor(sim::Millis(5));
+  ASSERT_TRUE(bed.taichi_enabled());
+  const int widened = bed.cp_task_cpus().count();
+  EXPECT_GT(widened, bed.cp_pcpu_set().count());
+
+  // Boost on: donations pause, CP falls back to the static partition.
+  bed.SetDpBoost(true);
+  EXPECT_TRUE(bed.dp_boost());
+  EXPECT_EQ(bed.cp_task_cpus().count(), bed.cp_pcpu_set().count());
+
+  // Boost off: the probes re-attach and CP affinity widens again.
+  bed.SetDpBoost(false);
+  EXPECT_FALSE(bed.dp_boost());
+  EXPECT_EQ(bed.cp_task_cpus().count(), widened);
+
+  // A disable supersedes any boost.
+  bed.SetDpBoost(true);
+  ASSERT_TRUE(bed.dp_boost());
+  bed.DisableTaiChi();
+  EXPECT_FALSE(bed.dp_boost());
+  bed.sim().RunFor(sim::Millis(5));  // The drain completes.
+  EXPECT_FALSE(bed.taichi_draining());
+  EXPECT_FALSE(bed.taichi_enabled());
+}
+
 }  // namespace
 }  // namespace taichi::exp

@@ -233,6 +233,29 @@ TEST(ScenarioDeterminism, CrashChurnVerdictIsByteIdenticalAcrossThreads) {
   EXPECT_GT(crashes, 0);
 }
 
+TEST(ScenarioDeterminism, AutopilotVerdictIsByteIdenticalAcrossThreads) {
+  // The autopilot's decision loop mutates cross-node state (placer books,
+  // Tai Chi enables, migrations) from its epoch hook; every decision — and
+  // therefore the verdict JSON embedding the decision log — must come out
+  // byte-identical whether nodes step serially or on 4 threads.
+  scenario::ScenarioOptions opts;
+  opts.nodes = 6;
+  opts.observed = sim::Millis(800);
+
+  std::string json[2];
+  uint64_t decisions = 0;
+  for (int run = 0; run < 2; ++run) {
+    opts.threads = run == 0 ? 1 : 4;
+    scenario::ScenarioRunner runner(scenario::BuildScenario("autopilot-overload", opts));
+    scenario::ScenarioVerdict v = runner.Run();
+    json[run] = v.ToJson();
+    decisions = v.autopilot.enables + v.autopilot.sheds + v.autopilot.migrations;
+  }
+  EXPECT_TRUE(json[0] == json[1]) << "t1:\n" << json[0] << "t4:\n" << json[1];
+  // Vacuity guard: the surge deterministically drives the controller to act.
+  EXPECT_GT(decisions, 0u);
+}
+
 // --- End-to-end detection story ----------------------------------------------
 
 TEST(ScenarioLibrary, DdosScenarioFlagsVictimAndNamesAttackFlows) {
