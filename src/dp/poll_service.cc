@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <iterator>
 
 namespace taichi::dp {
 
@@ -46,10 +45,11 @@ bool PollService::IsIdle() const {
   return true;
 }
 
-sim::Duration PollService::BatchCost(const std::vector<hw::IoPacket>& batch,
+sim::Duration PollService::BatchCost(const sim::PacketHandle* batch, size_t count,
                                      sim::SimTime now) {
   double base_ns = 0;
-  for (const hw::IoPacket& pkt : batch) {
+  for (size_t i = 0; i < count; ++i) {
+    const hw::IoPacket& pkt = pool_->Get(batch[i]);
     sim::Duration kind_base = pkt.kind == hw::IoKind::kBlockIo
                                   ? config_.per_block_io_base_cost
                                   : config_.per_packet_base_cost;
@@ -59,13 +59,14 @@ sim::Duration PollService::BatchCost(const std::vector<hw::IoPacket>& batch,
   }
   base_ns *= 1.0 + config_.virt_work_tax;
 
-  // Cache/TLB pollution surcharge after displacement.
+  // Cache/TLB pollution surcharge after displacement: charge once, decrement
+  // by exactly the amount charged so the credit decays to zero with no
+  // truncation drift across bursts.
   double extra_ns = 0;
   if (pollution_remaining_ > 0) {
-    double charged = std::min(base_ns, static_cast<double>(pollution_remaining_));
+    const double charged = std::min(base_ns, pollution_remaining_);
     extra_ns = charged * pollution_credit_;
-    pollution_remaining_ -= static_cast<sim::Duration>(
-        std::min(base_ns, static_cast<double>(pollution_remaining_)));
+    pollution_remaining_ -= charged;
   }
   return static_cast<sim::Duration>(base_ns + extra_ns);
 }
@@ -75,7 +76,7 @@ void PollService::OnScheduledIn(os::Kernel& /*kernel*/, os::Task& /*task*/) {
   // the working set is cold.
   if (dispatched_once_) {
     pollution_credit_ = config_.pollution_max_factor;
-    pollution_remaining_ = config_.pollution_decay;
+    pollution_remaining_ = static_cast<double>(config_.pollution_decay);
   }
   dispatched_once_ = true;
 }
@@ -88,22 +89,28 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
   sim::Duration lent = kernel.GetAccounting(cpu_).guest_lent;
   if (lent > last_guest_lent_) {
     pollution_credit_ = config_.pollution_max_factor;
-    pollution_remaining_ = config_.pollution_decay;
+    pollution_remaining_ = static_cast<double>(config_.pollution_decay);
     last_guest_lent_ = lent;
   }
 
-  // Deliver the batch whose processing just completed.
+  // Deliver the batch whose processing just completed: account every packet,
+  // then hand the whole batch to the sink in one call.
   if (!inflight_.empty() && last.type == os::Action::Type::kCompute) {
     uint64_t burst_bytes = 0;
-    for (const hw::IoPacket& pkt : inflight_) {
+    for (sim::PacketHandle h : inflight_) {
+      const hw::IoPacket& pkt = pool_->Get(h);
       packets_processed_.Inc();
       bytes_processed_.Inc(pkt.size_bytes);
       burst_bytes += pkt.size_bytes;
       if (flow_monitor_ != nullptr) {
         flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
       }
-      if (sink_) {
-        sink_(pkt, now);
+    }
+    if (sink_) {
+      sink_(inflight_.data(), inflight_.size(), now);
+    } else {
+      for (sim::PacketHandle h : inflight_) {
+        pool_->Free(h);
       }
     }
     if (tracer_ != nullptr) {
@@ -113,21 +120,25 @@ os::Action PollService::Next(os::Kernel& kernel, os::Task& /*task*/,
     inflight_.clear();
   }
 
-  // Gather the next burst across rings (rte_eth_rx_burst).
-  std::vector<hw::IoPacket> batch;
-  for (hw::DescriptorRing* ring : rings_) {
-    if (batch.size() >= config_.burst_size) {
-      break;
+  // Gather the next burst across rings (rte_eth_rx_burst), starting from the
+  // round-robin cursor so no ring can monopolize every burst under overload.
+  const size_t nrings = rings_.size();
+  if (nrings > 0) {
+    const size_t start = rr_cursor_;
+    inflight_.resize(config_.burst_size);  // Within reserved capacity.
+    size_t filled = 0;
+    for (size_t i = 0; i < nrings && filled < config_.burst_size; ++i) {
+      hw::DescriptorRing* ring = rings_[(start + i) % nrings];
+      filled += ring->PopBurst(config_.burst_size - filled, inflight_.data() + filled);
     }
-    ring->PopBurst(config_.burst_size - batch.size(), std::back_inserter(batch));
-  }
-
-  if (!batch.empty()) {
-    counting_done_ = false;
-    sim::Duration cost = BatchCost(batch, now);
-    work_time_ += cost;
-    inflight_ = std::move(batch);
-    return os::Action::Compute(cost);
+    inflight_.resize(filled);
+    if (filled > 0) {
+      rr_cursor_ = (start + 1) % nrings;
+      counting_done_ = false;
+      sim::Duration cost = BatchCost(inflight_.data(), filled, now);
+      work_time_ += cost;
+      return os::Action::Compute(cost);
+    }
   }
 
   // Ring empty: idle handling per policy (lines 6-14 of Fig. 9).

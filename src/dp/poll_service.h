@@ -8,7 +8,6 @@
 #ifndef SRC_DP_POLL_SERVICE_H_
 #define SRC_DP_POLL_SERVICE_H_
 
-#include <functional>
 #include <vector>
 
 #include "src/hw/io_packet.h"
@@ -16,6 +15,8 @@
 #include "src/obs/flow_monitor.h"
 #include "src/os/behaviors.h"
 #include "src/os/kernel.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/stats.h"
 #include "src/taichi/sw_probe.h"
 
@@ -50,16 +51,26 @@ struct PollServiceConfig {
 
 class PollService : public os::Behavior {
  public:
-  // Called for every processed packet when its burst finishes.
-  using Sink = std::function<void(const hw::IoPacket&, sim::SimTime completed)>;
+  // Called once per completed burst with the batch of processed handles.
+  // Ownership of the handles passes to the sink, which must eventually Free
+  // each one; without a sink the service frees them itself.
+  using BatchSink =
+      sim::InlineFunction<void(const sim::PacketHandle* batch, size_t count,
+                               sim::SimTime completed)>;
 
   PollService(os::CpuId cpu, PollServiceConfig config, YieldPolicy policy)
-      : cpu_(cpu), config_(config), policy_(policy) {}
+      : cpu_(cpu), config_(config), policy_(policy) {
+    inflight_.reserve(config_.burst_size);
+  }
 
   os::CpuId cpu() const { return cpu_; }
   YieldPolicy policy() const { return policy_; }
   void set_policy(YieldPolicy policy) { policy_ = policy; }
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_sink(BatchSink sink) { sink_ = std::move(sink); }
+
+  // The arena the ring descriptors point into. Must be set before the first
+  // dispatch (Testbed wires the owning Machine's pool); outlives the service.
+  void set_pool(sim::PacketPool* pool) { pool_ = pool; }
 
   // Attaches a descriptor ring; pushes kick the service out of idle.
   void AttachRing(hw::DescriptorRing* ring);
@@ -110,12 +121,13 @@ class PollService : public os::Behavior {
   }
 
  private:
-  sim::Duration BatchCost(const std::vector<hw::IoPacket>& batch, sim::SimTime now);
+  sim::Duration BatchCost(const sim::PacketHandle* batch, size_t count, sim::SimTime now);
 
   os::CpuId cpu_;
   PollServiceConfig config_;
   YieldPolicy policy_;
-  Sink sink_;
+  BatchSink sink_;
+  sim::PacketPool* pool_ = nullptr;
   std::vector<hw::DescriptorRing*> rings_;
   os::Kernel* kernel_ = nullptr;
   os::Task* task_ = nullptr;
@@ -123,12 +135,21 @@ class PollService : public os::Behavior {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::FlowMonitor* flow_monitor_ = nullptr;
 
-  std::vector<hw::IoPacket> inflight_;
+  // The burst currently being processed (gathered in Next, delivered on the
+  // following Next once the Compute completes). Reserved to burst_size at
+  // construction; never reallocates on the hot path.
+  std::vector<sim::PacketHandle> inflight_;
+  // Round-robin gather cursor: which ring the next burst starts draining
+  // from, so ring 0 cannot starve later rings under overload.
+  size_t rr_cursor_ = 0;
   bool counting_done_ = false;  // Finished an empty-poll counting window.
   bool dispatched_once_ = false;
   sim::Duration last_guest_lent_ = 0;
   double pollution_credit_ = 0;
-  sim::Duration pollution_remaining_ = 0;
+  // Remaining work (in ns of base cost) still subject to the pollution
+  // surcharge. Kept in double so partial bursts decrement exactly by the
+  // amount charged.
+  double pollution_remaining_ = 0;
 
   sim::Counter packets_processed_;
   sim::Counter bytes_processed_;

@@ -38,16 +38,21 @@ Testbed::Testbed(TestbedConfig config)
       flow_tx_(config.flow_monitor) {
   hw::MachineConfig mcfg;
   mcfg.num_cpus = config_.total_cpus;
+  mcfg.accelerator = config_.accelerator;
+  mcfg.packet_pool_capacity = config_.packet_pool_capacity;
   machine_ = std::make_unique<hw::Machine>(&sim_, mcfg);
   kernel_ = std::make_unique<os::Kernel>(&sim_, machine_.get(), os::KernelConfig{});
 
   machine_->nic().set_flow_monitor(&flow_tx_);
   machine_->accelerator().set_flow_monitor(&flow_rx_);
-  machine_->nic().set_sink([this](const hw::IoPacket& pkt) {
+  machine_->nic().set_sink([this](sim::PacketHandle h) {
+    sim::PacketPool& pool = machine_->pool();
+    const hw::IoPacket& pkt = pool.Get(h);
     auto it = wire_sinks_.find(OwnerOf(pkt.user_tag));
     if (it != wire_sinks_.end()) {
       it->second(pkt, sim_.Now());
     }
+    pool.Free(h);
   });
 
   BuildTopology();
@@ -144,10 +149,14 @@ void Testbed::BuildServices() {
     }
     auto service = std::make_unique<dp::PollService>(cpu, scfg, policy);
     service->AttachRing(&machine_->accelerator().ring(queue));
+    service->set_pool(&machine_->pool());
     service->set_flow_monitor(&flow_dp_);
-    service->set_sink([this](const hw::IoPacket& pkt, sim::SimTime completed) {
-      DispatchFromDp(pkt, completed);
-    });
+    service->set_sink(
+        [this](const sim::PacketHandle* batch, size_t count, sim::SimTime completed) {
+          for (size_t i = 0; i < count; ++i) {
+            DispatchFromDp(batch[i], completed);
+          }
+        });
     os::Task* task = kernel_->Spawn("dp_service_" + std::to_string(cpu),
                                     std::make_unique<os::BehaviorRef>(service.get()),
                                     os::CpuSet::Of({cpu}), os::Priority::kHigh);
@@ -184,39 +193,64 @@ void Testbed::Inject(hw::IoPacket pkt) {
   machine_->accelerator().Ingress(pkt.queue, pkt);
 }
 
+// The wire / PCIe injection legs allocate the arena slot up front so the
+// delay event captures only {this, handle}: small enough to stay inline in
+// the event slot, and the packet is copied exactly once per traversal.
 void Testbed::InjectFromWire(hw::IoPacket pkt) {
+  pkt.queue = queue_for_flow(pkt.flow);
   if (pkt.created == 0) {
     pkt.created = sim_.Now();
   }
-  sim_.Schedule(config_.wire_latency, [this, pkt] { Inject(pkt); });
+  const sim::PacketHandle h = machine_->pool().Alloc(pkt);
+  if (h == sim::kInvalidPacketHandle) {
+    machine_->accelerator().CountPoolDrop();
+    return;
+  }
+  sim_.Schedule(config_.wire_latency, [this, h] { InjectHandle(h); });
 }
 
 void Testbed::InjectFromVm(hw::IoPacket pkt) {
+  pkt.queue = queue_for_flow(pkt.flow);
   if (pkt.created == 0) {
     pkt.created = sim_.Now();
   }
-  sim_.Schedule(config_.pcie_dma_cost, [this, pkt] { Inject(pkt); });
+  const sim::PacketHandle h = machine_->pool().Alloc(pkt);
+  if (h == sim::kInvalidPacketHandle) {
+    machine_->accelerator().CountPoolDrop();
+    return;
+  }
+  sim_.Schedule(config_.pcie_dma_cost, [this, h] { InjectHandle(h); });
 }
 
-void Testbed::DispatchFromDp(const hw::IoPacket& pkt, sim::SimTime completed) {
+void Testbed::InjectHandle(sim::PacketHandle h) {
+  const uint32_t queue = machine_->pool().Get(h).queue;
+  machine_->accelerator().IngressHandle(queue, h);
+}
+
+void Testbed::DispatchFromDp(sim::PacketHandle h, sim::SimTime completed) {
+  sim::PacketPool& pool = machine_->pool();
+  const hw::IoPacket& pkt = pool.Get(h);
   switch (pkt.kind) {
     case hw::IoKind::kNetRx: {
-      sim_.Schedule(config_.pcie_dma_cost, [this, pkt] {
-        auto it = vm_sinks_.find(OwnerOf(pkt.user_tag));
+      sim_.Schedule(config_.pcie_dma_cost, [this, h] {
+        const hw::IoPacket& delivered = machine_->pool().Get(h);
+        auto it = vm_sinks_.find(OwnerOf(delivered.user_tag));
         if (it != vm_sinks_.end()) {
-          it->second(pkt, sim_.Now());
+          it->second(delivered, sim_.Now());
         }
+        machine_->pool().Free(h);
       });
       return;
     }
     case hw::IoKind::kNetTx:
-      machine_->nic().Transmit(pkt);
+      machine_->nic().Transmit(h);  // The port owns the handle from here.
       return;
     case hw::IoKind::kBlockIo: {
       auto it = storage_sinks_.find(OwnerOf(pkt.user_tag));
       if (it != storage_sinks_.end()) {
         it->second(pkt, completed);
       }
+      pool.Free(h);
       return;
     }
   }
@@ -548,6 +582,12 @@ void Testbed::AttachObservability(obs::Observability* obs) {
   kernel_->RegisterMetrics(obs->metrics);
   machine_->apic().RegisterMetrics(obs->metrics);
   machine_->accelerator().RegisterMetrics(obs->metrics);
+  // Canonical per-node rx drop signals: descriptor-ring overflow and packet
+  // arena exhaustion. Scenario verdicts read these to surface overload.
+  obs->metrics.AddCounterFn("rx.ring_drops",
+                            [this] { return machine_->accelerator().ring_drops(); });
+  obs->metrics.AddCounterFn("rx.pool_drops",
+                            [this] { return machine_->accelerator().pool_drops(); });
   machine_->probe().RegisterMetrics(obs->metrics);
   for (auto& service : services_) {
     service->RegisterMetrics(obs->metrics, "dp.svc" + std::to_string(service->cpu()));

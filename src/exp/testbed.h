@@ -28,6 +28,8 @@
 #include "src/obs/flow_monitor.h"
 #include "src/obs/observability.h"
 #include "src/os/kernel.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/simulation.h"
 #include "src/taichi/taichi.h"
 #include "src/virt/virt_costs.h"
@@ -50,6 +52,12 @@ struct TestbedConfig {
   uint32_t total_cpus = 12;  // Table 4.
   int dp_cpu_count = 8;      // Static partition: 8 DP + 4 CP (§6.1).
   uint64_t seed = 1;
+
+  // Accelerator pipeline + descriptor-ring depth (scenarios shrink
+  // ring_capacity to surface rx drops under overload).
+  hw::AcceleratorConfig accelerator;
+  // Slots in the node's packet arena; exhaustion sheds arrivals.
+  size_t packet_pool_capacity = 65536;
 
   dp::PollServiceConfig dp_service;
   core::TaiChiConfig taichi;  // dp/cp/vcpu fields filled by the testbed.
@@ -85,7 +93,9 @@ struct TestbedConfig {
 
 class Testbed {
  public:
-  using Sink = std::function<void(const hw::IoPacket&, sim::SimTime)>;
+  // Delivery callback: the packet is read out of the node's arena for the
+  // duration of the call; the testbed frees the slot after the sink returns.
+  using Sink = sim::InlineFunction<void(const hw::IoPacket&, sim::SimTime)>;
 
   explicit Testbed(TestbedConfig config);
   ~Testbed();
@@ -238,7 +248,8 @@ class Testbed {
   bool TaiChiQuiesced() const;
   void ScheduleDrainCheck();
   void FinishDisableTaiChi();
-  void DispatchFromDp(const hw::IoPacket& pkt, sim::SimTime completed);
+  void InjectHandle(sim::PacketHandle h);
+  void DispatchFromDp(sim::PacketHandle h, sim::SimTime completed);
 
   TestbedConfig config_;
   sim::Simulation sim_;

@@ -8,7 +8,7 @@ namespace taichi::hw {
 uint32_t Accelerator::AddQueue(uint32_t dest_cpu) {
   Queue q;
   q.dest_cpu = dest_cpu;
-  q.ring = std::make_unique<DescriptorRing>();
+  q.ring = std::make_unique<DescriptorRing>(config_.ring_capacity);
   queues_.push_back(std::move(q));
   uint32_t id = static_cast<uint32_t>(queues_.size() - 1);
   if (tracer_ != nullptr) {
@@ -34,6 +34,7 @@ void Accelerator::RegisterMetrics(obs::MetricsRegistry& registry,
   registry.AddCounter(prefix + ".ingressed", &ingressed_);
   registry.AddCounter(prefix + ".published", &published_);
   registry.AddCounterFn(prefix + ".ring_drops", [this] { return ring_drops(); });
+  registry.AddCounter(prefix + ".pool_drops", &pool_drops_);
   registry.AddSummary(prefix + ".residency_us", &residency_us_);
 }
 
@@ -48,9 +49,22 @@ void Accelerator::Stall(sim::Duration duration) {
   }
 }
 
-void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
+void Accelerator::Ingress(uint32_t queue, const IoPacket& pkt) {
+  assert(pool_ != nullptr && "Accelerator::Ingress requires a PacketPool");
+  const sim::PacketHandle h = pool_->Alloc(pkt);
+  if (h == sim::kInvalidPacketHandle) {
+    // Arena exhausted: the NIC has nowhere to put the payload, so the
+    // arrival is shed before it enters the pipeline — still offered load.
+    CountPoolDrop();
+    return;
+  }
+  IngressHandle(queue, h);
+}
+
+void Accelerator::IngressHandle(uint32_t queue, sim::PacketHandle h) {
   assert(queue < queues_.size());
   Queue& q = queues_[queue];
+  const IoPacket& pkt = pool_->Get(h);
   ingressed_.Inc();
   if (ingress_tap_) {
     ingress_tap_(queue, pkt);
@@ -81,13 +95,16 @@ void Accelerator::Ingress(uint32_t queue, IoPacket pkt) {
                       obs::TraceCategory::kAccel, "transfer", pkt.id, q.dest_cpu);
   }
 
-  sim_->At(publish, [this, queue, pkt, now]() mutable {
+  sim_->At(publish, [this, queue, h, now] {
     Queue& dst = queues_[queue];
     --dst.in_flight;
-    pkt.ring_push = sim_->Now();
-    residency_us_.Add(sim::ToMicros(pkt.ring_push - now));
-    if (dst.ring->Push(pkt)) {
+    IoPacket& slot = pool_->Get(h);
+    slot.ring_push = sim_->Now();
+    residency_us_.Add(sim::ToMicros(slot.ring_push - now));
+    if (dst.ring->Push(h)) {
       published_.Inc();
+    } else {
+      pool_->Free(h);  // Ring overflow: the descriptor is gone, reclaim the slot.
     }
     // Re-check the CPU state at publish: the destination CPU may have been
     // yielded to a vCPU while this packet sat in the preprocessing pipeline,

@@ -7,7 +7,6 @@
 #define SRC_HW_ACCELERATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -17,6 +16,8 @@
 #include "src/obs/flow_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
 
@@ -28,12 +29,19 @@ struct AcceleratorConfig {
   // Pipeline initiation interval per queue: a new packet can start
   // preprocessing this long after the previous one on the same queue.
   sim::Duration per_packet_gap = sim::Nanos(120);
+  // Depth of each queue's descriptor ring; pushes beyond it are rx drops.
+  size_t ring_capacity = 4096;
 };
 
 class Accelerator {
  public:
   Accelerator(sim::Simulation* sim, AcceleratorConfig config)
       : sim_(sim), config_(config) {}
+
+  // The arena packets live in while crossing the NIC. Must be set (by the
+  // owning Machine) before any Ingress call; outlives the accelerator.
+  void set_pool(sim::PacketPool* pool) { pool_ = pool; }
+  sim::PacketPool* pool() const { return pool_; }
 
   // Declares an eNIC queue whose descriptors are consumed by the DP service
   // running on data-plane CPU `dest_cpu`. Returns the queue id.
@@ -62,7 +70,7 @@ class Accelerator {
   // any pipeline effect. The scenario trace recorder uses it to capture a
   // replayable per-node arrival stream; unset (the default) costs one
   // predictable branch per packet. The tap must not inject new traffic.
-  using IngressTap = std::function<void(uint32_t queue, const IoPacket& pkt)>;
+  using IngressTap = sim::InlineFunction<void(uint32_t queue, const IoPacket& pkt)>;
   void set_ingress_tap(IngressTap tap) { ingress_tap_ = std::move(tap); }
 
   // Fault injection: freezes the preprocessing pipeline for `duration` —
@@ -72,14 +80,29 @@ class Accelerator {
   void Stall(sim::Duration duration);
   uint64_t stalls() const { return stalls_; }
 
-  // A packet enters the SmartNIC bound for `queue`. Walks the probe check,
-  // the preprocessing stage and the transfer stage, then publishes the
-  // descriptor to the queue's ring.
-  void Ingress(uint32_t queue, IoPacket pkt);
+  // A packet enters the SmartNIC bound for `queue`. Allocates an arena slot
+  // for it (an exhausted pool is an rx drop, like a NIC out of mbufs) and
+  // walks the handle path below.
+  void Ingress(uint32_t queue, const IoPacket& pkt);
+
+  // The zero-copy path: the caller already owns `h` in this node's pool;
+  // ownership passes to the accelerator, which frees it if the descriptor
+  // ring overflows at publish time.
+  void IngressHandle(uint32_t queue, sim::PacketHandle h);
 
   uint64_t packets_ingressed() const { return ingressed_.value(); }
   uint64_t packets_published() const { return published_.value(); }
   uint64_t ring_drops() const;
+  // Arrivals shed because the packet arena was exhausted.
+  uint64_t pool_drops() const { return pool_drops_.value(); }
+  // Accounts an arrival shed before reaching Ingress because the arena was
+  // exhausted (callers that allocate at the injection boundary, e.g. the
+  // testbed's wire/PCIe legs, report their failed Allocs here so all rx
+  // shedding lands in one place).
+  void CountPoolDrop() {
+    ingressed_.Inc();
+    pool_drops_.Inc();
+  }
 
   // Pipeline-stage spans land on per-queue tracks at obs::kAccelTrackBase+q.
   void set_tracer(obs::TraceRecorder* tracer);
@@ -104,6 +127,7 @@ class Accelerator {
 
   sim::Simulation* sim_;
   AcceleratorConfig config_;
+  sim::PacketPool* pool_ = nullptr;
   std::vector<Queue> queues_;
   HwWorkloadProbe* probe_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
@@ -111,6 +135,7 @@ class Accelerator {
   IngressTap ingress_tap_;
   sim::Counter ingressed_;
   sim::Counter published_;
+  sim::Counter pool_drops_;
   uint64_t stalls_ = 0;
   sim::Summary residency_us_;
 };

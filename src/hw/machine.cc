@@ -4,9 +4,12 @@ namespace taichi::hw {
 
 Machine::Machine(sim::Simulation* sim, MachineConfig config)
     : sim_(sim), config_(config) {
+  pool_ = std::make_unique<sim::PacketPool>(config_.packet_pool_capacity);
   apic_ = std::make_unique<Apic>(sim_, config_.ipi_delivery_latency);
   accelerator_ = std::make_unique<Accelerator>(sim_, config_.accelerator);
+  accelerator_->set_pool(pool_.get());
   nic_ = std::make_unique<NicPort>(sim_, config_.nic);
+  nic_->set_pool(pool_.get());
 
   std::vector<ApicId> dp_apics(config_.num_cpus);
   for (uint32_t i = 0; i < config_.num_cpus; ++i) {

@@ -12,6 +12,7 @@
 #include "src/hw/apic.h"
 #include "src/hw/hw_probe.h"
 #include "src/hw/nic_port.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/simulation.h"
 
 namespace taichi::hw {
@@ -21,6 +22,10 @@ struct MachineConfig {
   sim::Duration ipi_delivery_latency = sim::Nanos(400);
   AcceleratorConfig accelerator;
   NicPortConfig nic;
+  // Slots in the node's packet arena (~80 B each). Sized so sustained
+  // overload fills the descriptor rings first: ring drops, not pool
+  // exhaustion, are the designed shedding point.
+  size_t packet_pool_capacity = 65536;
 };
 
 class Machine {
@@ -38,6 +43,11 @@ class Machine {
   Accelerator& accelerator() { return *accelerator_; }
   NicPort& nic() { return *nic_; }
 
+  // The node's packet arena: every in-flight packet on this machine lives in
+  // one of its slots, addressed by sim::PacketHandle.
+  sim::PacketPool& pool() { return *pool_; }
+  const sim::PacketPool& pool() const { return *pool_; }
+
   // The hardware workload probe is instantiated with the machine (it is part
   // of the accelerator silicon) but only consulted once installed into the
   // accelerator via Accelerator::set_probe().
@@ -46,6 +56,7 @@ class Machine {
  private:
   sim::Simulation* sim_;
   MachineConfig config_;
+  std::unique_ptr<sim::PacketPool> pool_;
   std::unique_ptr<Apic> apic_;
   std::unique_ptr<Accelerator> accelerator_;
   std::unique_ptr<HwWorkloadProbe> probe_;

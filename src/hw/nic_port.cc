@@ -9,7 +9,8 @@ sim::Duration NicPort::SerializationDelay(uint32_t bytes) const {
   return std::max<sim::Duration>(1, static_cast<sim::Duration>(ns));
 }
 
-void NicPort::Transmit(const IoPacket& pkt) {
+void NicPort::Transmit(sim::PacketHandle h) {
+  const IoPacket& pkt = pool_->Get(h);
   const sim::SimTime start = std::max(sim_->Now(), link_free_);
   const sim::SimTime done = start + SerializationDelay(pkt.size_bytes);
   link_free_ = done;
@@ -19,9 +20,10 @@ void NicPort::Transmit(const IoPacket& pkt) {
     flow_monitor_->OnPacket(pkt.flow_key, pkt.size_bytes);
   }
   if (!sink_) {
+    pool_->Free(h);
     return;
   }
-  sim_->At(done + config_.wire_latency, [this, pkt] { sink_(pkt); });
+  sim_->At(done + config_.wire_latency, [this, h] { sink_(h); });
 }
 
 }  // namespace taichi::hw

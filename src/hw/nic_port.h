@@ -3,10 +3,12 @@
 #ifndef SRC_HW_NIC_PORT_H_
 #define SRC_HW_NIC_PORT_H_
 
-#include <functional>
+#include <utility>
 
 #include "src/hw/io_packet.h"
 #include "src/obs/flow_monitor.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/simulation.h"
 
 namespace taichi::hw {
@@ -18,9 +20,15 @@ struct NicPortConfig {
 
 class NicPort {
  public:
-  using Sink = std::function<void(const IoPacket&)>;
+  // Receives ownership of the transmitted packet's handle once it has fully
+  // crossed the wire; the sink must eventually Free it.
+  using Sink = sim::InlineFunction<void(sim::PacketHandle)>;
 
   NicPort(sim::Simulation* sim, NicPortConfig config) : sim_(sim), config_(config) {}
+
+  // The arena the transmitted handles live in. Set by the owning Machine
+  // before traffic flows; outlives the port.
+  void set_pool(sim::PacketPool* pool) { pool_ = pool; }
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
@@ -28,9 +36,11 @@ class NicPort {
   // allocation-free) before serialization. The monitor must outlive the port.
   void set_flow_monitor(obs::FlowMonitor* monitor) { flow_monitor_ = monitor; }
 
-  // Transmits a packet; it reaches the sink after serialization on the link
-  // plus wire latency. Back-to-back packets queue behind each other.
-  void Transmit(const IoPacket& pkt);
+  // Transmits a packet, taking ownership of its handle; the sink receives it
+  // after serialization on the link plus wire latency. Back-to-back packets
+  // queue behind each other. Without a sink the packet leaves the simulated
+  // world and its slot is reclaimed immediately.
+  void Transmit(sim::PacketHandle h);
 
   uint64_t transmitted() const { return transmitted_; }
   uint64_t bytes_transmitted() const { return bytes_; }
@@ -40,6 +50,7 @@ class NicPort {
 
   sim::Simulation* sim_;
   NicPortConfig config_;
+  sim::PacketPool* pool_ = nullptr;
   Sink sink_;
   obs::FlowMonitor* flow_monitor_ = nullptr;
   sim::SimTime link_free_ = 0;

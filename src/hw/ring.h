@@ -5,26 +5,39 @@
 #define SRC_HW_RING_H_
 
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
-#include "src/hw/io_packet.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/packet_pool.h"
 
 namespace taichi::hw {
 
+// Carries 4-byte sim::PacketHandle descriptors, not packets — the payload
+// stays in the node's PacketPool, exactly as a real rx ring carries mbuf
+// pointers into a shared arena. Storage is a power-of-two circular buffer
+// sized once at construction; Push/PopBurst never allocate.
 class DescriptorRing {
  public:
-  explicit DescriptorRing(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit DescriptorRing(size_t capacity = 4096) {
+    size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+    capacity_ = capacity;
+  }
 
   // Pushes a descriptor. Returns false (drop) when the ring is full, which
-  // mirrors rx-ring overflow behaviour under overload.
-  bool Push(const IoPacket& pkt) {
-    if (entries_.size() >= capacity_) {
+  // mirrors rx-ring overflow behaviour under overload. On a drop the caller
+  // still owns the handle and must return it to the pool.
+  bool Push(sim::PacketHandle h) {
+    if (size() >= capacity_) {
       ++drops_;
       return false;
     }
-    entries_.push_back(pkt);
+    slots_[tail_ & mask_] = h;
+    ++tail_;
     if (watcher_) {
       watcher_();
     }
@@ -32,31 +45,32 @@ class DescriptorRing {
   }
 
   // Pops up to `max` descriptors into `out`; returns the count — the model of
-  // rte_eth_rx_burst().
-  template <typename OutIt>
-  size_t PopBurst(size_t max, OutIt out) {
+  // rte_eth_rx_burst(). Ownership of the popped handles passes to the caller.
+  size_t PopBurst(size_t max, sim::PacketHandle* out) {
     size_t n = 0;
-    while (n < max && !entries_.empty()) {
-      *out++ = entries_.front();
-      entries_.pop_front();
-      ++n;
+    while (n < max && head_ != tail_) {
+      out[n++] = slots_[head_ & mask_];
+      ++head_;
     }
     return n;
   }
 
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return static_cast<size_t>(tail_ - head_); }
   size_t capacity() const { return capacity_; }
   uint64_t drops() const { return drops_; }
 
   // Invoked on every Push. Used by poll services to wake from idle
   // fast-forward; must not pop synchronously from inside the callback.
-  void set_watcher(std::function<void()> watcher) { watcher_ = std::move(watcher); }
+  void set_watcher(sim::InlineCallback watcher) { watcher_ = std::move(watcher); }
 
  private:
-  size_t capacity_;
-  std::deque<IoPacket> entries_;
-  std::function<void()> watcher_;
+  std::vector<sim::PacketHandle> slots_;
+  uint64_t head_ = 0;   // Next slot to pop.
+  uint64_t tail_ = 0;   // Next slot to fill.
+  size_t mask_ = 0;
+  size_t capacity_ = 0;
+  sim::InlineCallback watcher_;
   uint64_t drops_ = 0;
 };
 

@@ -168,6 +168,9 @@ ScenarioSpec BuildScenario(const std::string& name, const ScenarioOptions& opts)
     spec.slo.heavy_hitters = 8;
     spec.expect.min_hotspot_windows = 1;
     spec.expect.require_attack_attribution = true;
+    // The flood must visibly overflow the victim's descriptor ring: drops
+    // are part of the verdict, not silent.
+    spec.expect.min_rx_ring_drops = 1;
     return spec;
   }
   if (name == "crash-churn") {

@@ -29,6 +29,15 @@ std::string ScenarioVerdict::ToJson() const {
   w.Field("worst_fleet_value_ms", worst_fleet_value);
   w.Field("last_fleet_value_ms", last_fleet_value);
   w.EndObject();
+  w.Key("rx").BeginObject();
+  w.Field("ring_drops", rx_ring_drops);
+  w.Field("pool_drops", rx_pool_drops);
+  w.Key("per_node_ring_drops").BeginArray();
+  for (uint64_t d : node_rx_ring_drops) {
+    w.Value(d);
+  }
+  w.EndArray();
+  w.EndObject();
   w.Key("chaos").BeginObject();
   w.Field("crashes", crashes);
   w.Field("restarts", restarts);
@@ -191,6 +200,20 @@ ScenarioVerdict ScenarioRunner::Run() {
   v.alive_at_end = cluster_->alive_count();
   v.sim_ms = sim::ToSeconds(cluster_->Now()) * 1e3;
 
+  // RX shedding tallies. Without these the verdict can claim a flood was
+  // survived while every victim ring silently overflowed — drops must be
+  // first-class, not invisible.
+  v.node_rx_ring_drops.assign(cluster_->size(), 0);
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    if (!cluster_->alive(i)) {
+      continue;
+    }
+    const hw::Accelerator& accel = cluster_->node(i).machine().accelerator();
+    v.node_rx_ring_drops[i] = accel.ring_drops();
+    v.rx_ring_drops += accel.ring_drops();
+    v.rx_pool_drops += accel.pool_drops();
+  }
+
   if (autopilot_ != nullptr) {
     ScenarioVerdict::AutopilotStats& a = v.autopilot;
     a.engaged = true;
@@ -282,6 +305,11 @@ ScenarioVerdict ScenarioRunner::Run() {
   if (e.require_crashes) {
     check("chaos_crashed", v.crashes > 0,
           "want >= 1 crash, got " + std::to_string(v.crashes));
+  }
+  if (e.min_rx_ring_drops > 0) {
+    check("rx_ring_drops", v.rx_ring_drops >= e.min_rx_ring_drops,
+          "want >= " + std::to_string(e.min_rx_ring_drops) + " shed at rx rings, got " +
+              std::to_string(v.rx_ring_drops));
   }
   if (e.require_full_recovery) {
     check("full_recovery",

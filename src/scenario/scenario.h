@@ -53,6 +53,10 @@ struct ScenarioExpectations {
   bool require_crashes = false;
   // Every node is back up (and no restart is pending) after the drain.
   bool require_full_recovery = true;
+  // The run must have shed at least this many packets at RX descriptor
+  // rings (summed over alive nodes). Overload scenarios set this: a flood
+  // that never overflowed a ring was absorbed, not survived.
+  uint64_t min_rx_ring_drops = 0;
 
   // --- Autopilot expectations (scored only when the spec engages one) ---
   // A window is "unhealthy" when the fleet breaches or any node is a
@@ -118,6 +122,13 @@ struct ScenarioVerdict {
   size_t total_samples = 0;
   double worst_fleet_value = 0;  // Max windowed fleet percentile.
   double last_fleet_value = 0;
+
+  // RX shedding over the whole run, summed across nodes alive at the end
+  // (a crashed-and-restarted node restarts its counters). Ring drops are
+  // descriptor-ring overflow; pool drops are packet-arena exhaustion.
+  uint64_t rx_ring_drops = 0;
+  uint64_t rx_pool_drops = 0;
+  std::vector<uint64_t> node_rx_ring_drops;  // Per node; 0 for dead nodes.
 
   // Chaos tallies (zero when chaos was off).
   int crashes = 0;

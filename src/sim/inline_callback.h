@@ -1,5 +1,5 @@
-// Move-only type-erased callable with inline storage, sized for the event
-// queue's hot path.
+// Move-only type-erased callables with inline storage, sized for the event
+// queue's and the packet path's hot closures.
 #ifndef SRC_SIM_INLINE_CALLBACK_H_
 #define SRC_SIM_INLINE_CALLBACK_H_
 
@@ -11,13 +11,14 @@
 
 namespace taichi::sim {
 
-// The closure type behind every scheduled event. Unlike std::function it is
-// move-only (so captures can own resources) and its inline buffer is sized
-// for the simulator's real captures — `this` plus a copied IoPacket plus a
-// couple of ids (~88 bytes) — so the schedule → fire cycle never touches the
-// allocator. libstdc++'s std::function spills to the heap past 16 bytes,
-// which put one malloc/free pair on the critical path of nearly every
-// simulated IRQ, poll tick, IPI and context switch.
+// The closure type behind every scheduled event and every hot sink. Unlike
+// std::function it is move-only (so captures can own resources) and its
+// inline buffer is sized for the simulator's real captures — `this` plus a
+// packet-pool handle plus a couple of ids — so the schedule → fire cycle and
+// the per-burst sink dispatch never touch the allocator. libstdc++'s
+// std::function spills to the heap past 16 bytes, which put one malloc/free
+// pair on the critical path of nearly every simulated IRQ, poll tick, IPI
+// and context switch.
 //
 // Storage layout: two function pointers (invoke, manage) plus the buffer.
 // Trivially-copyable captures — the overwhelmingly common case: lambdas over
@@ -27,42 +28,51 @@ namespace taichi::sim {
 // buffer fall back to a single heap box (the buffer then holds one pointer);
 // a static_assert caps how large such a capture may get so an accidentally
 // huge capture is a compile error, not a silent slow path.
-class InlineCallback {
+template <typename Sig>
+class InlineFunction;
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
-  // Large enough for `this` + an hw::IoPacket (80 bytes with its FlowKey) +
-  // two words, the biggest capture on a per-packet path. Bench + tests assert
-  // the hot-path captures stay inline; bump deliberately if a new hot capture
-  // outgrows it.
-  static constexpr size_t kInlineBytes = 104;
+  // Large enough for `this` + a 32-bit packet handle + a queue id + a
+  // timestamp plus slack — the biggest capture on the per-packet and
+  // per-event paths since the packet arena replaced by-value IoPacket
+  // captures. Bench + tests assert the hot-path captures stay inline; bump
+  // deliberately if a new hot capture outgrows it.
+  static constexpr size_t kInlineBytes = 48;
   // Oversized captures heap-box, but past this they are almost certainly a
   // bug (accidentally capturing a container by value).
   static constexpr size_t kMaxCallableBytes = 1024;
 
-  InlineCallback() noexcept = default;
-  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT: mirror std::function.
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT: mirror std::function.
 
   template <typename F, typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineCallback(F&& f) {  // NOLINT: implicit, lambdas convert at call sites.
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, lambdas convert at call sites.
     static_assert(sizeof(D) <= kMaxCallableBytes,
                   "callback capture is implausibly large; capture by pointer");
     if constexpr (FitsInline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
-      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      invoke_ = [](void* p, Args... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      };
       if constexpr (!TriviallyManaged<D>()) {
         manage_ = &InlineManage<D>;
       }
     } else {
       Boxed(buf_) = new D(std::forward<F>(f));
-      invoke_ = [](void* p) { (*static_cast<D*>(Boxed(p)))(); };
+      invoke_ = [](void* p, Args... args) -> R {
+        return (*static_cast<D*>(Boxed(p)))(std::forward<Args>(args)...);
+      };
       manage_ = &HeapManage<D>;
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -70,22 +80,24 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback& operator=(std::nullptr_t) noexcept {
+  InlineFunction& operator=(std::nullptr_t) noexcept {
     Reset();
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { Reset(); }
+  ~InlineFunction() { Reset(); }
 
-  void operator()() { invoke_(buf_); }
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const noexcept { return invoke_ != nullptr; }
 
  private:
-  using InvokeFn = void (*)(void*);
+  using InvokeFn = R (*)(void*, Args...);
   // dst == nullptr: destroy src. Else: move-construct dst from src and
   // destroy src (one indirect call covers both move and destroy).
   using ManageFn = void (*)(void* dst, void* src);
@@ -121,12 +133,23 @@ class InlineCallback {
     }
   }
 
-  void MoveFrom(InlineCallback& other) noexcept {
+  void MoveFrom(InlineFunction& other) noexcept {
     invoke_ = other.invoke_;
     manage_ = other.manage_;
     if (invoke_ != nullptr) {
       if (manage_ == nullptr) {
+        // Trivial captures move as a fixed-size copy of the whole buffer;
+        // the bytes past the capture are indeterminate but never read
+        // through invoke_. GCC flags the dead tail bytes.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
         std::memcpy(buf_, other.buf_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
       } else {
         manage_(buf_, other.buf_);
       }
@@ -147,6 +170,9 @@ class InlineCallback {
   ManageFn manage_ = nullptr;
   alignas(std::max_align_t) std::byte buf_[kInlineBytes];
 };
+
+// The event queue's closure type. Every scheduled event is one of these.
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace taichi::sim
 

@@ -1,0 +1,62 @@
+#include "src/sim/packet_pool.h"
+
+#include <cstdlib>
+
+#include "src/sim/logging.h"
+
+namespace taichi::sim {
+
+PacketPool::PacketPool(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (capacity > kMaxCapacity) capacity = kMaxCapacity;
+  slots_.resize(capacity);
+  free_.reserve(capacity);
+  // LIFO: push descending so the first Alloc hands out slot 0. Freshly freed
+  // slots are reused first, which keeps the working set cache-hot under
+  // steady load.
+  for (size_t i = capacity; i-- > 0;) {
+    free_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+PacketHandle PacketPool::Alloc(const hw::IoPacket& pkt) {
+  if (free_.empty()) {
+    ++exhausted_;
+    return kInvalidPacketHandle;
+  }
+  uint32_t idx = free_.back();
+  free_.pop_back();
+  Slot& s = slots_[idx];
+  s.pkt = pkt;
+  return idx | (s.generation << kIndexBits);
+}
+
+void PacketPool::Free(PacketHandle h) {
+  uint32_t idx = CheckedIndex(h);
+  Slot& s = slots_[idx];
+  // Bump the generation, skipping the value that would make a full-mask
+  // handle collide with kInvalidPacketHandle for the last slot.
+  s.generation = (s.generation + 1) & kGenerationMask;
+  if (idx == kIndexMask && s.generation == kGenerationMask) {
+    s.generation = 0;
+  }
+  free_.push_back(idx);
+}
+
+uint32_t PacketPool::CheckedIndex(PacketHandle h) const {
+  uint32_t idx = IndexOf(h);
+  if (h == kInvalidPacketHandle || idx >= slots_.size() ||
+      GenerationOf(h) != slots_[idx].generation) {
+    DieStale(h);
+  }
+  return idx;
+}
+
+void PacketPool::DieStale(PacketHandle h) const {
+  TAICHI_ERROR(0, "PacketPool: stale or invalid handle 0x%08x (slot %u gen %u, pool gen %u)",
+               h, IndexOf(h), GenerationOf(h),
+               IndexOf(h) < slots_.size() ? slots_[IndexOf(h)].generation : 0u);
+  std::abort();
+}
+
+}  // namespace taichi::sim

@@ -6,6 +6,7 @@
 
 #include "src/hw/machine.h"
 #include "src/os/behaviors.h"
+#include "src/sim/packet_pool.h"
 
 namespace taichi::dp {
 namespace {
@@ -21,9 +22,13 @@ class PollServiceTest : public ::testing::Test {
 
   PollService* MakeService(YieldPolicy policy, PollServiceConfig cfg = {}) {
     service_ = std::make_unique<PollService>(0, cfg, policy);
+    service_->set_pool(&pool_);
     service_->AttachRing(&ring_);
-    service_->set_sink([this](const hw::IoPacket& pkt, sim::SimTime t) {
-      delivered_.push_back({pkt, t});
+    service_->set_sink([this](const sim::PacketHandle* batch, size_t count, sim::SimTime t) {
+      for (size_t i = 0; i < count; ++i) {
+        delivered_.push_back({pool_.Get(batch[i]), t});
+        pool_.Free(batch[i]);
+      }
     });
     os::Task* task = kernel_->Spawn("dp", std::make_unique<os::BehaviorRef>(service_.get()),
                                     os::CpuSet::Of({0}), os::Priority::kHigh);
@@ -31,15 +36,22 @@ class PollServiceTest : public ::testing::Test {
     return service_.get();
   }
 
-  void Push(uint64_t id, uint32_t bytes = 64) {
+  void PushTo(hw::DescriptorRing& ring, uint64_t id, uint32_t bytes = 64,
+              uint64_t dp_cost_hint = 0) {
     hw::IoPacket pkt;
     pkt.id = id;
     pkt.size_bytes = bytes;
+    pkt.dp_cost_hint = dp_cost_hint;
     pkt.ring_push = sim_.Now();
-    ring_.Push(pkt);
+    sim::PacketHandle h = pool_.Alloc(pkt);
+    ASSERT_NE(h, sim::kInvalidPacketHandle);
+    ring.Push(h);
   }
 
+  void Push(uint64_t id, uint32_t bytes = 64) { PushTo(ring_, id, bytes); }
+
   sim::Simulation sim_;
+  sim::PacketPool pool_{1024};
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<os::Kernel> kernel_;
   hw::DescriptorRing ring_;
@@ -58,6 +70,7 @@ TEST_F(PollServiceTest, ProcessesAndDeliversPackets) {
   EXPECT_EQ(delivered_[1].first.id, 2u);
   EXPECT_EQ(svc->packets_processed(), 2u);
   EXPECT_GT(svc->work_time(), 0u);
+  EXPECT_EQ(pool_.in_use(), 0u);  // Every slot returned after delivery.
 }
 
 TEST_F(PollServiceTest, ProcessingCostScalesWithBytes) {
@@ -79,12 +92,7 @@ TEST_F(PollServiceTest, ProcessingCostScalesWithBytes) {
 TEST_F(PollServiceTest, DpCostHintAddsWork) {
   PollService* svc = MakeService(YieldPolicy::kBusyPoll);
   sim_.RunFor(sim::Micros(10));
-  hw::IoPacket pkt;
-  pkt.id = 9;
-  pkt.size_bytes = 64;
-  pkt.dp_cost_hint = 5000;
-  pkt.ring_push = sim_.Now();
-  ring_.Push(pkt);
+  PushTo(ring_, 9, 64, /*dp_cost_hint=*/5000);
   sim_.RunFor(sim::Millis(1));
   EXPECT_GE(svc->work_time(), 5000u);
 }
@@ -115,17 +123,13 @@ TEST_F(PollServiceTest, VirtTaxInflatesWork) {
   // Fresh kernel state: new service on CPU 1.
   auto taxed = std::make_unique<PollService>(1, taxed_cfg, YieldPolicy::kBusyPoll);
   hw::DescriptorRing ring2;
+  taxed->set_pool(&pool_);
   taxed->AttachRing(&ring2);
-  taxed->set_sink([](const hw::IoPacket&, sim::SimTime) {});
   os::Task* task = kernel_->Spawn("dp2", std::make_unique<os::BehaviorRef>(taxed.get()),
                                   os::CpuSet::Of({1}), os::Priority::kHigh);
   taxed->BindTask(kernel_.get(), task);
   sim_.RunFor(sim::Micros(10));
-  hw::IoPacket pkt;
-  pkt.id = 1;
-  pkt.size_bytes = 64;
-  pkt.ring_push = sim_.Now();
-  ring2.Push(pkt);
+  PushTo(ring2, 1);
   sim_.RunFor(sim::Millis(1));
   EXPECT_NEAR(static_cast<double>(taxed->work_time()), static_cast<double>(plain) * 1.10,
               static_cast<double>(plain) * 0.02);
@@ -167,6 +171,65 @@ TEST_F(PollServiceTest, BusyPollPolicyNeverBlocks) {
   EXPECT_EQ(svc->task()->state(), os::TaskState::kRunning);
   os::CpuAccounting acct = kernel_->GetAccounting(0);
   EXPECT_GT(acct.busy, sim::Millis(4));
+}
+
+TEST_F(PollServiceTest, RoundRobinGatherServesAllRingsUnderOverload) {
+  // Regression for the rx-ring starvation bug: the gather loop used to drain
+  // rings_[0] to exhaustion before touching later rings, so under sustained
+  // overload ring 1 never made progress. With the round-robin cursor,
+  // alternating bursts start on alternating rings.
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll);
+  hw::DescriptorRing ring2;
+  svc->AttachRing(&ring2);
+  sim_.RunFor(sim::Micros(10));
+  // Both rings hold far more than the bursts the run below can process
+  // (~4 bursts of 32 at ~900 ns/packet in 120 us), so a starving gather
+  // would deliver exclusively ring-0 ids.
+  for (uint64_t i = 0; i < 200; ++i) {
+    PushTo(ring_, i);
+    PushTo(ring2, 1000 + i);
+  }
+  sim_.RunFor(sim::Micros(120));
+  size_t from_ring0 = 0;
+  size_t from_ring1 = 0;
+  for (const auto& [pkt, t] : delivered_) {
+    (pkt.id < 1000 ? from_ring0 : from_ring1)++;
+  }
+  ASSERT_GT(delivered_.size(), 0u);
+  EXPECT_GT(from_ring0, 0u);
+  EXPECT_GT(from_ring1, 0u);
+  // The cursor alternates start rings, so neither ring gets more than one
+  // burst of headway over the other.
+  EXPECT_LE(from_ring0 > from_ring1 ? from_ring0 - from_ring1 : from_ring1 - from_ring0,
+            32u);
+}
+
+TEST_F(PollServiceTest, PollutionSurchargeDecaysExactlyToZero) {
+  // Regression for the pollution-accounting bug: the old code decremented
+  // pollution_remaining_ via a lossy integer cast of the charged amount, so
+  // fractional base costs under-decremented the budget and over-charged the
+  // surcharge across bursts. Walk the decay to zero with base 10.5 ns and
+  // check the exact per-burst costs:
+  //   bursts 1-9:  charged 10.5, cost = trunc(10.5 + 10.5)      = 21 ns
+  //   burst 10:    charged  5.5, cost = trunc(10.5 + 5.5)       = 16 ns
+  //   bursts 11+:  budget exhausted, cost = trunc(10.5)         = 10 ns
+  // Total for 12 packets: 9*21 + 16 + 2*10 = 225 ns. The lossy decrement
+  // (10 per burst instead of 10.5) yields 229 ns.
+  PollServiceConfig cfg;
+  cfg.per_packet_base_cost = sim::Nanos(10);
+  cfg.ns_per_byte = 0.5;
+  cfg.pollution_max_factor = 1.0;
+  cfg.pollution_decay = sim::Nanos(100);
+  PollService* svc = MakeService(YieldPolicy::kBusyPoll, cfg);
+  sim_.RunFor(sim::Micros(10));  // Task dispatched: dispatched_once_ armed.
+  // A re-dispatch after the first one marks the working set cold.
+  svc->OnScheduledIn(*kernel_, *svc->task());
+  for (uint64_t i = 0; i < 12; ++i) {
+    Push(i, /*bytes=*/1);  // base = 10 + 0.5 * 1 = 10.5 ns.
+    sim_.RunFor(sim::Micros(5));  // One single-packet burst at a time.
+  }
+  EXPECT_EQ(delivered_.size(), 12u);
+  EXPECT_EQ(svc->work_time(), 225);
 }
 
 }  // namespace

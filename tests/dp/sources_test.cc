@@ -2,14 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "src/sim/packet_pool.h"
+
 namespace taichi::dp {
 namespace {
 
 class SourcesTest : public ::testing::Test {
  protected:
-  SourcesTest() : accel_(&sim_, {}) { queue_ = accel_.AddQueue(0); }
+  SourcesTest() : accel_(&sim_, {}) {
+    accel_.set_pool(&pool_);
+    queue_ = accel_.AddQueue(0);
+  }
 
   sim::Simulation sim_;
+  sim::PacketPool pool_{8192};
   hw::Accelerator accel_;
   uint32_t queue_ = 0;
 };
@@ -83,12 +91,13 @@ TEST_F(SourcesTest, PacketsCarryConfiguredIdentity) {
   src.Start();
   sim_.RunFor(sim::Millis(1));
   ASSERT_GT(accel_.ring(queue_).size(), 0u);
-  std::vector<hw::IoPacket> out;
-  accel_.ring(queue_).PopBurst(1, std::back_inserter(out));
-  EXPECT_EQ(out[0].size_bytes, 777u);
-  EXPECT_EQ(out[0].flow, 3u);
-  EXPECT_EQ(out[0].user_tag, 0xabcu);
-  EXPECT_EQ(out[0].kind, hw::IoKind::kNetTx);
+  std::array<sim::PacketHandle, 1> out;
+  ASSERT_EQ(accel_.ring(queue_).PopBurst(1, out.data()), 1u);
+  const hw::IoPacket& pkt = pool_.Get(out[0]);
+  EXPECT_EQ(pkt.size_bytes, 777u);
+  EXPECT_EQ(pkt.flow, 3u);
+  EXPECT_EQ(pkt.user_tag, 0xabcu);
+  EXPECT_EQ(pkt.kind, hw::IoKind::kNetTx);
 }
 
 TEST_F(SourcesTest, SameSeedDeterministic) {
@@ -96,7 +105,9 @@ TEST_F(SourcesTest, SameSeedDeterministic) {
     OpenLoopConfig cfg;
     cfg.rate_pps = 50000;
     sim::Simulation local(seed);
+    sim::PacketPool pool(8192);
     hw::Accelerator accel(&local, {});
+    accel.set_pool(&pool);
     uint32_t q = accel.AddQueue(0);
     OpenLoopSource src(&local, &accel, q, cfg, seed);
     src.Start();

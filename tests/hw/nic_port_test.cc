@@ -4,38 +4,54 @@
 
 #include <vector>
 
+#include "src/sim/packet_pool.h"
 #include "src/sim/simulation.h"
 
 namespace taichi::hw {
 namespace {
 
+sim::PacketHandle MakePacket(sim::PacketPool& pool, uint32_t size_bytes) {
+  IoPacket p;
+  p.size_bytes = size_bytes;
+  sim::PacketHandle h = pool.Alloc(p);
+  EXPECT_NE(h, sim::kInvalidPacketHandle);
+  return h;
+}
+
 TEST(NicPortTest, DeliversAfterSerializationAndWire) {
   sim::Simulation s;
+  sim::PacketPool pool(16);
   NicPortConfig cfg;
   cfg.bandwidth_gbps = 100.0;  // 1500 B -> 120 ns.
   cfg.wire_latency = sim::Micros(2);
   NicPort nic(&s, cfg);
+  nic.set_pool(&pool);
   sim::SimTime arrived = 0;
-  nic.set_sink([&](const IoPacket&) { arrived = s.Now(); });
-  IoPacket p;
-  p.size_bytes = 1500;
-  nic.Transmit(p);
+  nic.set_sink([&](sim::PacketHandle h) {
+    arrived = s.Now();
+    pool.Free(h);
+  });
+  nic.Transmit(MakePacket(pool, 1500));
   s.Run();
   EXPECT_EQ(arrived, sim::Nanos(120) + sim::Micros(2));
+  EXPECT_EQ(pool.in_use(), 0u);
 }
 
 TEST(NicPortTest, BackToBackPacketsQueueOnLink) {
   sim::Simulation s;
+  sim::PacketPool pool(16);
   NicPortConfig cfg;
   cfg.bandwidth_gbps = 100.0;
   cfg.wire_latency = 0;
   NicPort nic(&s, cfg);
+  nic.set_pool(&pool);
   std::vector<sim::SimTime> arrivals;
-  nic.set_sink([&](const IoPacket&) { arrivals.push_back(s.Now()); });
-  IoPacket p;
-  p.size_bytes = 1500;
-  nic.Transmit(p);
-  nic.Transmit(p);
+  nic.set_sink([&](sim::PacketHandle h) {
+    arrivals.push_back(s.Now());
+    pool.Free(h);
+  });
+  nic.Transmit(MakePacket(pool, 1500));
+  nic.Transmit(MakePacket(pool, 1500));
   s.Run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[1] - arrivals[0], sim::Nanos(120));
@@ -43,23 +59,28 @@ TEST(NicPortTest, BackToBackPacketsQueueOnLink) {
 
 TEST(NicPortTest, CountsBytesAndPackets) {
   sim::Simulation s;
+  sim::PacketPool pool(16);
   NicPort nic(&s, {});
-  IoPacket p;
-  p.size_bytes = 64;
-  nic.Transmit(p);
-  nic.Transmit(p);
+  nic.set_pool(&pool);
+  nic.set_sink([&](sim::PacketHandle h) { pool.Free(h); });
+  nic.Transmit(MakePacket(pool, 64));
+  nic.Transmit(MakePacket(pool, 64));
   s.Run();
   EXPECT_EQ(nic.transmitted(), 2u);
   EXPECT_EQ(nic.bytes_transmitted(), 128u);
 }
 
-TEST(NicPortTest, NoSinkIsSafe) {
+TEST(NicPortTest, NoSinkReclaimsSlot) {
+  // Without a sink the packet leaves the simulated world; the port must hand
+  // the slot back instead of leaking it.
   sim::Simulation s;
+  sim::PacketPool pool(16);
   NicPort nic(&s, {});
-  IoPacket p;
-  nic.Transmit(p);
+  nic.set_pool(&pool);
+  nic.Transmit(MakePacket(pool, 64));
   s.Run();
   EXPECT_EQ(nic.transmitted(), 1u);
+  EXPECT_EQ(pool.in_use(), 0u);
 }
 
 }  // namespace

@@ -2,54 +2,67 @@
 
 #include <gtest/gtest.h>
 
-#include <vector>
+#include <array>
+
+#include "src/sim/packet_pool.h"
 
 namespace taichi::hw {
 namespace {
 
-IoPacket Pkt(uint64_t id) {
-  IoPacket p;
-  p.id = id;
-  return p;
-}
-
+// Handles are opaque descriptors to the ring; plain integers exercise the
+// FIFO/watcher logic without needing a pool.
 TEST(DescriptorRingTest, FifoOrder) {
   DescriptorRing ring;
-  for (uint64_t i = 0; i < 5; ++i) {
-    EXPECT_TRUE(ring.Push(Pkt(i)));
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.Push(i));
   }
-  std::vector<IoPacket> out;
-  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 5u);
-  for (uint64_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(out[i].id, i);
+  std::array<sim::PacketHandle, 32> out;
+  EXPECT_EQ(ring.PopBurst(out.size(), out.data()), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], i);
   }
 }
 
 TEST(DescriptorRingTest, BurstBounded) {
   DescriptorRing ring;
-  for (uint64_t i = 0; i < 100; ++i) {
-    ring.Push(Pkt(i));
+  for (uint32_t i = 0; i < 100; ++i) {
+    ring.Push(i);
   }
-  std::vector<IoPacket> out;
-  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 32u);
+  std::array<sim::PacketHandle, 32> out;
+  EXPECT_EQ(ring.PopBurst(out.size(), out.data()), 32u);
   EXPECT_EQ(ring.size(), 68u);
 }
 
 TEST(DescriptorRingTest, DropsWhenFull) {
   DescriptorRing ring(2);
-  EXPECT_TRUE(ring.Push(Pkt(1)));
-  EXPECT_TRUE(ring.Push(Pkt(2)));
-  EXPECT_FALSE(ring.Push(Pkt(3)));
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_TRUE(ring.Push(2));
+  EXPECT_FALSE(ring.Push(3));
   EXPECT_EQ(ring.drops(), 1u);
   EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(DescriptorRingTest, CapacityEnforcedAcrossWrap) {
+  // A non-power-of-two capacity still drops at exactly `capacity` even after
+  // head/tail wrap around the backing power-of-two buffer.
+  DescriptorRing ring(3);
+  std::array<sim::PacketHandle, 4> out;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.Push(1));
+    EXPECT_TRUE(ring.Push(2));
+    EXPECT_TRUE(ring.Push(3));
+    EXPECT_FALSE(ring.Push(4));
+    EXPECT_EQ(ring.PopBurst(out.size(), out.data()), 3u);
+  }
+  EXPECT_EQ(ring.drops(), 10u);
 }
 
 TEST(DescriptorRingTest, WatcherFiresOnEveryPush) {
   DescriptorRing ring;
   int notified = 0;
   ring.set_watcher([&] { ++notified; });
-  ring.Push(Pkt(1));
-  ring.Push(Pkt(2));
+  ring.Push(1);
+  ring.Push(2);
   EXPECT_EQ(notified, 2);
 }
 
@@ -57,16 +70,35 @@ TEST(DescriptorRingTest, WatcherNotFiredOnDrop) {
   DescriptorRing ring(1);
   int notified = 0;
   ring.set_watcher([&] { ++notified; });
-  ring.Push(Pkt(1));
-  ring.Push(Pkt(2));  // Dropped.
+  ring.Push(1);
+  ring.Push(2);  // Dropped.
   EXPECT_EQ(notified, 1);
 }
 
 TEST(DescriptorRingTest, EmptyBurstReturnsZero) {
   DescriptorRing ring;
-  std::vector<IoPacket> out;
-  EXPECT_EQ(ring.PopBurst(32, std::back_inserter(out)), 0u);
+  std::array<sim::PacketHandle, 32> out;
+  EXPECT_EQ(ring.PopBurst(out.size(), out.data()), 0u);
   EXPECT_TRUE(ring.empty());
+}
+
+TEST(DescriptorRingTest, CarriesPoolHandlesRoundTrip) {
+  // End-to-end with a real pool: what goes in by handle comes out pointing
+  // at the same packet.
+  sim::PacketPool pool(8);
+  DescriptorRing ring;
+  IoPacket p;
+  p.id = 42;
+  p.size_bytes = 1500;
+  const sim::PacketHandle h = pool.Alloc(p);
+  ASSERT_NE(h, sim::kInvalidPacketHandle);
+  EXPECT_TRUE(ring.Push(h));
+  std::array<sim::PacketHandle, 4> out;
+  ASSERT_EQ(ring.PopBurst(out.size(), out.data()), 1u);
+  EXPECT_EQ(out[0], h);
+  EXPECT_EQ(pool.Get(out[0]).id, 42u);
+  EXPECT_EQ(pool.Get(out[0]).size_bytes, 1500u);
+  pool.Free(out[0]);
 }
 
 }  // namespace

@@ -268,6 +268,20 @@ TEST(ScenarioLibrary, DdosScenarioFlagsVictimAndNamesAttackFlows) {
   EXPECT_GT(v.attributed_windows, 0u);
   EXPECT_TRUE(v.pass) << v.ToJson();
 
+  // The flood overflowed the victim's rx descriptor ring, the drops are
+  // attributed to the victim node, and they surface in the verdict JSON —
+  // regression for the era when rx drops were counted nowhere.
+  EXPECT_GT(v.rx_ring_drops, 0u);
+  ASSERT_FALSE(v.node_rx_ring_drops.empty());
+  EXPECT_GT(v.node_rx_ring_drops[0], 0u);  // Node 0 is the configured victim.
+  for (size_t i = 1; i < v.node_rx_ring_drops.size(); ++i) {
+    EXPECT_EQ(v.node_rx_ring_drops[i], 0u) << "unexpected drops on bystander " << i;
+  }
+  const std::string json = v.ToJson();
+  EXPECT_NE(json.find("\"rx\""), std::string::npos);
+  EXPECT_NE(json.find("\"ring_drops\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_node_ring_drops\""), std::string::npos);
+
   // The verdict's attribution is backed by actual attack-range flows in the
   // hotspot node's heavy-hitter list.
   bool named = false;

@@ -105,20 +105,51 @@ TEST(InlineCallbackTest, OversizedNonTrivialCaptureDestroyedExactlyOnce) {
 TEST(InlineCallbackTest, HotPathCapturesStayInline) {
   // The captures the simulator schedules millions of times per second must
   // fit the inline buffer; this is the compile-time contract behind the
-  // zero-allocation guarantee (see bench_micro's allocation hook).
-  struct PacketShapedCapture {
+  // zero-allocation guarantee (see bench_micro's allocation hook). Since the
+  // packet arena landed, hot captures carry a 4-byte handle instead of an
+  // 80-byte IoPacket copy, which is what lets kInlineBytes stay at 48.
+  struct HandleShapedCapture {
     void* self;
-    unsigned char packet[80];  // sizeof(hw::IoPacket), FlowKey included
     uint32_t queue;
+    uint32_t handle;
     uint64_t now;
   };
-  static_assert(sizeof(PacketShapedCapture) <= InlineCallback::kInlineBytes);
+  static_assert(sizeof(HandleShapedCapture) <= InlineCallback::kInlineBytes);
   struct KernelShapedCapture {
     void* self;
     int id;
     bool timeout;
   };
   static_assert(sizeof(KernelShapedCapture) <= InlineCallback::kInlineBytes);
+}
+
+TEST(InlineFunctionTest, CarriesArgumentsAndReturnValue) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  ASSERT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(19, 23), 42);
+}
+
+TEST(InlineFunctionTest, BatchSinkShapedSignature) {
+  // The DP batch-sink shape: pointer + count + timestamp, stateful capture.
+  uint64_t total = 0;
+  InlineFunction<void(const uint32_t*, size_t, uint64_t)> sink(
+      [&total](const uint32_t* batch, size_t count, uint64_t ts) {
+        for (size_t i = 0; i < count; ++i) {
+          total += batch[i];
+        }
+        total += ts;
+      });
+  const uint32_t batch[3] = {1, 2, 3};
+  sink(batch, 3, 100);
+  EXPECT_EQ(total, 106u);
+}
+
+TEST(InlineFunctionTest, MovePreservesNonVoidSignature) {
+  auto boxed = std::make_unique<int>(7);
+  InlineFunction<int()> f([p = std::move(boxed)] { return *p * 6; });
+  InlineFunction<int()> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(g(), 42);
 }
 
 TEST(InlineCallbackTest, SelfRescheduleStyleReuse) {
