@@ -49,8 +49,12 @@ obs::FlowKey OpenLoopSource::MakeFlowKey(uint64_t packet_index) const {
     // Counter-hash draw: uniform u from a mix of (source flow id, packet
     // index), mapped through rank = floor(N^(u^skew)) - 1 so rank 0 takes
     // the largest share and the tail thins out Zipf-style. No Rng draws.
+    // The salt multiplies through a large odd constant so per-node streams
+    // decorrelate; salt 0 contributes nothing and reproduces the unsalted
+    // draw bit for bit.
     const uint64_t h = obs::sketch::Mix64(
-        obs::sketch::Mix64(config_.flow ^ 0xf10f5ULL) ^ packet_index);
+        obs::sketch::Mix64(config_.flow ^ 0xf10f5ULL) ^
+        (config_.flow_salt * 0x9e3779b97f4a7c15ULL) ^ packet_index);
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
     const double n = static_cast<double>(config_.flow_count);
     const double r = std::pow(n, std::pow(u, config_.flow_skew));
@@ -59,7 +63,14 @@ obs::FlowKey OpenLoopSource::MakeFlowKey(uint64_t packet_index) const {
   }
   obs::FlowKey key;
   key.src_ip = 0x0a000000u | static_cast<uint32_t>(rank & 0xffffffu);
-  key.dst_ip = 0x0a800000u | static_cast<uint32_t>(config_.flow & 0xffffu);
+  // Salted sources serve per-node endpoint blocks (32 sources per salt in
+  // 23 bits of 10.128/9), so tuples from different nodes never collide
+  // fleet-wide; salt 0 keeps the original per-source endpoint exactly.
+  const uint32_t dst_low =
+      config_.flow_salt == 0
+          ? static_cast<uint32_t>(config_.flow & 0xffffu)
+          : static_cast<uint32_t>(((config_.flow_salt << 5) + config_.flow) & 0x7fffffu);
+  key.dst_ip = 0x0a800000u | dst_low;
   key.src_port = static_cast<uint16_t>(1024 + rank % 60000);
   key.dst_port = config_.kind == hw::IoKind::kNetTx ? 80 : 443;
   key.proto = config_.kind == hw::IoKind::kBlockIo ? obs::kProtoBlock

@@ -38,6 +38,15 @@ struct OpenLoopConfig {
   uint32_t flow_count = 1;
   double flow_skew = 1.3;
 
+  // Fleet-scale flow identity: a nonzero salt gives this source a distinct
+  // flow population (distinct hash stream AND distinct served endpoint), so
+  // per-node salts make fleet-merged distinct-flow counts scale with node
+  // count instead of every node re-emitting the same tuples. Same
+  // counter-hash mechanism as flow_count: telemetry identity only — no Rng
+  // state, no timing, and RSS queueing still keys on `flow`, untouched.
+  // 0 (the default) emits byte-identical keys to the pre-salt scheme.
+  uint64_t flow_salt = 0;
+
   // Adversarial flow identity: when > 0 the source emits a DDoS-shaped
   // population instead of the Zipf mix — `attack_sources` spoofed source IPs
   // in the TEST-NET-2 block (198.51.100.0/24) hammering one victim endpoint

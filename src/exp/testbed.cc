@@ -281,6 +281,7 @@ void Testbed::StartBackgroundLoad(double per_cpu_rate_pps, uint32_t size_bytes,
     ocfg.flow = i;
     ocfg.flow_count = config_.background_flow_count;
     ocfg.flow_skew = config_.background_flow_skew;
+    ocfg.flow_salt = config_.background_flow_salt;
     ocfg.user_tag = Tag(kBackgroundOwner, i);
     auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
                                                     queues_[i], ocfg,
@@ -327,6 +328,7 @@ void Testbed::StartBackgroundBurstyLoadPerCpu(const std::vector<double>& utils,
     ocfg.flow = i;
     ocfg.flow_count = config_.background_flow_count;
     ocfg.flow_skew = config_.background_flow_skew;
+    ocfg.flow_salt = config_.background_flow_salt;
     ocfg.user_tag = Tag(kBackgroundOwner, i);
     auto src = std::make_unique<dp::OpenLoopSource>(&sim_, &machine_->accelerator(),
                                                     queues_[i], ocfg,

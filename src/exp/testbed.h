@@ -82,6 +82,11 @@ struct TestbedConfig {
   // pass-through): distinct flows per source and Zipf-like skew.
   uint32_t background_flow_count = 1;
   double background_flow_skew = 1.3;
+  // Per-node flow-population salt (OpenLoopConfig::flow_salt pass-through):
+  // the fleet layer sets a distinct salt per node so merged distinct-flow
+  // counts scale with node count. 0 keeps flow keys byte-identical to the
+  // unsalted scheme.
+  uint64_t background_flow_salt = 0;
 
   // End-to-end path constants (calibrated so the baseline ping RTT lands
   // near Table 5's 26/30/38 us).
@@ -167,9 +172,11 @@ class Testbed {
   double RateForUtilization(double utilization, uint32_t size_bytes) const;
   // Flow-population synthesis for background sources started after this call
   // (fleet::LoadGen pass-through). Telemetry-only: consumes no Rng state.
-  void SetBackgroundFlows(uint32_t flow_count, double flow_skew) {
+  void SetBackgroundFlows(uint32_t flow_count, double flow_skew,
+                          uint64_t flow_salt = 0) {
     config_.background_flow_count = flow_count;
     config_.background_flow_skew = flow_skew;
+    config_.background_flow_salt = flow_salt;
   }
 
   // Aggregate useful DP work time across services.

@@ -31,6 +31,7 @@ void LoadGen::Start() {
   }
   running_ = true;
   node_utils_.assign(cluster_->size(), {});
+  node_mixes_.assign(config_.aggregate.enabled ? cluster_->size() : 0, NodeMix{});
   arrival_events_.assign(cluster_->size(), sim::kInvalidEventId);
   for (size_t i = 0; i < cluster_->size(); ++i) {
     StartNode(i);
@@ -39,16 +40,39 @@ void LoadGen::Start() {
 
 void LoadGen::StartNode(size_t node) {
   exp::Testbed& bed = cluster_->node(node);
-  // Per-CPU averages come from the arrival stream's sibling draws so the
-  // whole node is a function of its one RNG.
   std::vector<double>& utils = node_utils_[node];
   utils.clear();
-  for (size_t c = 0; c < bed.active_dp_cpus().size(); ++c) {
-    utils.push_back(std::clamp(
-        arrival_rngs_[node].LogNormal(config_.util_median, config_.util_sigma),
-        config_.util_min, config_.util_max));
+  if (config_.aggregate.enabled) {
+    // Flow-aggregate path: the node's user population folds into one
+    // aggregate rate + one flow count, modulated per node (one draw from the
+    // same RNG the arrival stream uses — the node stays a function of its
+    // one stream). The per-node salt (node + 1: never the 0 sentinel) keys a
+    // fleet-distinct flow population.
+    const LoadGenConfig::AggregateUsers& agg = config_.aggregate;
+    const double mod = std::clamp(arrival_rngs_[node].LogNormal(1.0, config_.util_sigma),
+                                  agg.mod_min, agg.mod_max);
+    const double node_pps = agg.users_per_node * agg.pps_per_user * mod;
+    const size_t cpus = bed.active_dp_cpus().size();
+    const double full_rate = bed.RateForUtilization(1.0, config_.pkt_bytes);
+    const double util = std::clamp(node_pps / (static_cast<double>(cpus) * full_rate),
+                                   config_.util_min, config_.util_max);
+    const double node_flows = agg.users_per_node * agg.flows_per_user;
+    const uint32_t per_src_flows = static_cast<uint32_t>(
+        std::max(1.0, node_flows / static_cast<double>(cpus)));
+    utils.assign(1, util);  // One shared level: Testbed broadcasts per CPU.
+    node_mixes_[node] = NodeMix{node_pps,
+                                static_cast<uint32_t>(per_src_flows * cpus), util};
+    bed.SetBackgroundFlows(per_src_flows, config_.flow_skew, node + 1);
+  } else {
+    // Per-CPU averages come from the arrival stream's sibling draws so the
+    // whole node is a function of its one RNG.
+    for (size_t c = 0; c < bed.active_dp_cpus().size(); ++c) {
+      utils.push_back(std::clamp(
+          arrival_rngs_[node].LogNormal(config_.util_median, config_.util_sigma),
+          config_.util_min, config_.util_max));
+    }
+    bed.SetBackgroundFlows(config_.flow_count, config_.flow_skew);
   }
-  bed.SetBackgroundFlows(config_.flow_count, config_.flow_skew);
   bed.StartBackgroundBurstyLoadPerCpu(utils, config_.pkt_bytes);
   if (config_.spawn_monitors) {
     bed.SpawnBackgroundCp();

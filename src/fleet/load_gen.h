@@ -49,6 +49,30 @@ struct LoadGenConfig {
   bool spawn_monitors = true;
 
   uint64_t seed = 2024;
+
+  // --- Flow-aggregate user modeling (hyperscale fleets) ---
+  //
+  // Off (the default), each DP CPU draws its own Fig. 3 utilization and the
+  // flow population repeats across nodes — fine at 12 nodes, wrong at 10k:
+  // per-connection realism isn't affordable and fleet distinct-flow counts
+  // must scale with the fleet. On, the users behind a node collapse into
+  // per-node arrival-mix state: one aggregate packet rate
+  // (users_per_node × pps_per_user, modulated by a per-node LogNormal(1.0,
+  // util_sigma) factor for Fig. 3 heterogeneity) spread across the node's
+  // DP CPUs, and a per-node flow population (users_per_node × flows_per_user
+  // Zipf-keyed flows, salted per node so fleet-merged sketches see the true
+  // aggregate). O(1) state per node regardless of user count; flow synthesis
+  // stays counter-hashed (telemetry-only, no Rng, no timing).
+  struct AggregateUsers {
+    bool enabled = false;
+    double users_per_node = 1000.0;
+    double pps_per_user = 40.0;    // Mean offered packets/s per user.
+    double flows_per_user = 1.0;   // Distinct 5-tuples per user.
+    // Clamp on the per-node LogNormal modulation factor.
+    double mod_min = 0.25;
+    double mod_max = 4.0;
+  };
+  AggregateUsers aggregate;
 };
 
 class LoadGen : public scenario::TrafficSource {
@@ -67,7 +91,16 @@ class LoadGen : public scenario::TrafficSource {
   bool running() const override { return running_; }
   // The drawn per-CPU utilizations, node-major (inspection / reporting).
   // A restarted node's entry reflects its newest incarnation's draws.
+  // In aggregate mode every CPU of a node shares one entry.
   const std::vector<std::vector<double>>& node_utils() const { return node_utils_; }
+
+  // Aggregate-mode per-node mix (empty when aggregate.enabled is false).
+  struct NodeMix {
+    double pps = 0;        // Aggregate offered packets/s across the node.
+    uint32_t flows = 0;    // Distinct flows in the node's population.
+    double util = 0;       // Resulting per-CPU average utilization.
+  };
+  const std::vector<NodeMix>& node_mixes() const { return node_mixes_; }
 
   // Scales future VM-startup arrivals (diurnal curves); effective from the
   // next arrival. Values <= 0 park arrivals on nodes whose next arrival
@@ -110,6 +143,7 @@ class LoadGen : public scenario::TrafficSource {
   // gap after each arrival (no per-arrival closure rebuild).
   std::vector<sim::EventId> arrival_events_;
   std::vector<std::vector<double>> node_utils_;
+  std::vector<NodeMix> node_mixes_;  // Aggregate mode only.
   std::vector<double> vm_scale_;  // Current per-node share (migration moves it).
   bool running_ = false;
 };

@@ -19,10 +19,16 @@ const char* ToString(PlacePolicy policy) {
 }
 
 Placer::Placer(size_t num_nodes, NodeCapacity capacity, PlacePolicy policy)
-    : capacity_(capacity), policy_(policy), loads_(num_nodes) {
+    : capacity_(capacity), policy_(policy), loads_(num_nodes),
+      by_score_(ScoreOrder{policy == PlacePolicy::kBinPack}) {
   if (num_nodes == 0) {
     TAICHI_ERROR(0, "placer: zero nodes is invalid, clamping to 1");
     loads_.resize(1);
+  }
+  if (policy_ != PlacePolicy::kRoundRobin) {
+    for (size_t i = 0; i < loads_.size(); ++i) {
+      by_score_.emplace(LoadScore(i), static_cast<uint32_t>(i));
+    }
   }
 }
 
@@ -51,11 +57,21 @@ double Placer::LoadScore(size_t node) const {
   return score;
 }
 
+void Placer::ReindexNode(size_t node, double old_score) {
+  if (policy_ == PlacePolicy::kRoundRobin) {
+    return;
+  }
+  by_score_.erase({old_score, static_cast<uint32_t>(node)});
+  by_score_.emplace(LoadScore(node), static_cast<uint32_t>(node));
+}
+
 void Placer::Commit(size_t node, const WorkloadSpec& spec) {
+  const double old_score = LoadScore(node);
   loads_[node].vms += spec.vms;
   loads_[node].dp_util += spec.dp_util;
   loads_[node].cp_load += spec.cp_load;
   ++admitted_;
+  ReindexNode(node, old_score);
 }
 
 Placement Placer::Place(const WorkloadSpec& spec) {
@@ -73,33 +89,17 @@ Placement Placer::Place(const WorkloadSpec& spec) {
       }
       break;
     }
-    case PlacePolicy::kLeastLoaded: {
-      // Lowest score wins; scanning in id order makes the tie-break (lowest
-      // node id) explicit and deterministic.
-      double best = 0.0;
-      for (size_t node = 0; node < loads_.size(); ++node) {
-        if (!Fits(node, spec)) {
-          continue;
-        }
-        const double score = LoadScore(node);
-        if (chosen < 0 || score < best) {
-          chosen = static_cast<int>(node);
-          best = score;
-        }
-      }
-      break;
-    }
+    case PlacePolicy::kLeastLoaded:
     case PlacePolicy::kBinPack: {
-      // Fill the hottest node that still fits before opening a colder one.
-      double best = 0.0;
-      for (size_t node = 0; node < loads_.size(); ++node) {
-        if (!Fits(node, spec)) {
-          continue;
-        }
-        const double score = LoadScore(node);
-        if (chosen < 0 || score > best) {
+      // The index already holds the policy's preference order (coldest-first
+      // for spread, hottest-first for consolidation, lowest id on ties):
+      // take the first node with room. Only full nodes are skipped, so the
+      // probe count is 1 + however many preferred nodes are at capacity.
+      for (const auto& [score, node] : by_score_) {
+        (void)score;
+        if (Fits(node, spec)) {
           chosen = static_cast<int>(node);
-          best = score;
+          break;
         }
       }
       break;
@@ -140,6 +140,7 @@ void Placer::Release(int node, const WorkloadSpec& spec) {
     TAICHI_ERROR(0, "placer: release on invalid node %d", node);
     return;
   }
+  const double old_score = LoadScore(static_cast<size_t>(node));
   Load& l = loads_[static_cast<size_t>(node)];
   l.vms -= spec.vms;
   l.dp_util -= spec.dp_util;
@@ -155,6 +156,7 @@ void Placer::Release(int node, const WorkloadSpec& spec) {
     l.dp_util = l.dp_util < 0 ? 0 : l.dp_util;
     l.cp_load = l.cp_load < 0 ? 0 : l.cp_load;
   }
+  ReindexNode(static_cast<size_t>(node), old_score);
 }
 
 }  // namespace taichi::fleet

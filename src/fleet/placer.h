@@ -9,7 +9,9 @@
 #define SRC_FLEET_PLACER_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace taichi::fleet {
@@ -80,6 +82,9 @@ class Placer {
 
  private:
   void Commit(size_t node, const WorkloadSpec& spec);
+  // Re-seats `node` in the score index after its load changed; `old_score`
+  // is its LoadScore before the change (the exact double that was inserted).
+  void ReindexNode(size_t node, double old_score);
 
   struct Load {
     int vms = 0;
@@ -87,9 +92,28 @@ class Placer {
     double cp_load = 0.0;
   };
 
+  // Score-ordered node index for the scanning policies: least-loaded probes
+  // ascending, bin-pack descending, ties in both break toward the lowest
+  // node id (the id is part of the key, so the order is total and matches
+  // the old linear scan's explicit tie-break exactly). Place() walks it in
+  // preference order and takes the first node that fits — O(log n) per
+  // load change and O(1 + skipped) per placement instead of the O(n) full
+  // scan, which autopilot migration churn turned quadratic at 10k nodes.
+  struct ScoreOrder {
+    bool descending = false;
+    bool operator()(const std::pair<double, uint32_t>& a,
+                    const std::pair<double, uint32_t>& b) const {
+      if (a.first != b.first) {
+        return descending ? a.first > b.first : a.first < b.first;
+      }
+      return a.second < b.second;
+    }
+  };
+
   NodeCapacity capacity_;
   PlacePolicy policy_;
   std::vector<Load> loads_;
+  std::set<std::pair<double, uint32_t>, ScoreOrder> by_score_;  // Empty for RR.
   size_t cursor_ = 0;  // Round-robin position.
   uint64_t admitted_ = 0;
   uint64_t refused_ = 0;

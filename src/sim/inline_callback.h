@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -173,6 +174,41 @@ class InlineFunction<R(Args...)> {
 
 // The event queue's closure type. Every scheduled event is one of these.
 using InlineCallback = InlineFunction<void()>;
+
+// A non-owning view of a callable: two words, trivially copyable, nothing to
+// allocate or destroy. This is the right parameter type for synchronous
+// fan-out APIs (ThreadPool::ParallelFor and friends) where the callable
+// outlives the call by construction — the std::function it replaces put a
+// type-erasure allocation + atomic refcount churn on every epoch step. The
+// referenced callable must stay alive for the duration of every invocation;
+// do not store a FunctionRef.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F, typename D = std::remove_reference_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit, lambdas convert at call sites.
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
 
 }  // namespace taichi::sim
 

@@ -3,9 +3,10 @@
 namespace taichi::sim {
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  cursors_ = std::make_unique<ShardCursor[]>(static_cast<size_t>(threads_));
   workers_.reserve(static_cast<size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -20,20 +21,31 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::RunSlice(const std::function<void(size_t)>& fn, size_t n) {
-  for (;;) {
-    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) {
-      return;
+void ThreadPool::RunShards(FunctionRef<void(size_t)> fn, size_t n, int self) {
+  const size_t stride = static_cast<size_t>(threads_);
+  // d == 0: level-1 — drain the stripe this participant owns (indices
+  // self, self + T, ...) off its private cursor. d > 0: the stripe is dry;
+  // steal whole indices from the d-th neighbour's cursor. A claim that
+  // lands past the stripe end is a bounded no-op (at most one per visitor
+  // per queue), not a lost index.
+  for (int d = 0; d < threads_; ++d) {
+    const size_t q = static_cast<size_t>((self + d) % threads_);
+    std::atomic<uint32_t>& cursor = cursors_[q].next;
+    for (;;) {
+      const size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      const size_t i = q + k * stride;
+      if (i >= n) {
+        break;
+      }
+      fn(i);
     }
-    fn(i);
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int self) {
   uint64_t seen_gen = 0;
   for (;;) {
-    const std::function<void(size_t)>* fn;
+    FunctionRef<void(size_t)> fn;
     size_t n;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -45,7 +57,7 @@ void ThreadPool::WorkerLoop() {
       fn = job_;
       n = job_n_;
     }
-    RunSlice(*fn, n);
+    RunShards(fn, n, self);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--unfinished_ == 0) {
@@ -55,7 +67,7 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn) {
   if (workers_.empty() || n <= 1) {
     for (size_t i = 0; i < n; ++i) {
       fn(i);
@@ -64,17 +76,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
+    job_ = fn;
     job_n_ = n;
-    next_.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < threads_; ++i) {
+      cursors_[i].next.store(0, std::memory_order_relaxed);
+    }
     unfinished_ = workers_.size();
     ++job_gen_;
   }
   start_cv_.notify_all();
-  RunSlice(fn, n);
+  RunShards(fn, n, 0);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return unfinished_ == 0; });
-  job_ = nullptr;
+  job_ = FunctionRef<void(size_t)>();
 }
 
 }  // namespace taichi::sim

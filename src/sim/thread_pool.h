@@ -8,16 +8,27 @@
 // contract a parallel run is byte-identical to a serial run: the pool adds
 // concurrency, never nondeterminism. The fleet layer relies on this to keep
 // same-seed cluster runs reproducible at any --threads value.
+//
+// Dispatch is sharded: every participant (the caller plus each worker) owns
+// the stripe of indices congruent to its id mod threads() and claims them
+// off a per-participant cursor — its own cache line, uncontended in the
+// common case. Only after its own stripe is dry does a participant steal
+// from siblings' cursors, nearest first. That splits the barrier into two
+// levels — drain-your-shard, then fleet-wide completion — and removes the
+// single shared fetch_add that every claim bounced across sockets at
+// 10k-node fleets.
 #ifndef SRC_SIM_THREAD_POOL_H_
 #define SRC_SIM_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/sim/inline_callback.h"
 
 namespace taichi::sim {
 
@@ -35,26 +46,35 @@ class ThreadPool {
 
   // Runs fn(i) for every i in [0, n) across the pool and blocks until all
   // calls returned. The calling thread participates. fn must not throw and
-  // must not call ParallelFor reentrantly.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  // must not call ParallelFor reentrantly. fn is captured by reference only
+  // for the duration of the call (FunctionRef): no allocation, no copy.
+  void ParallelFor(size_t n, FunctionRef<void(size_t)> fn);
 
  private:
-  void WorkerLoop();
-  // Work-steals indices off next_ until the current job is exhausted.
-  void RunSlice(const std::function<void(size_t)>& fn, size_t n);
+  // One claim cursor per participant, each on its own cache line so stripe
+  // claims never false-share.
+  struct alignas(64) ShardCursor {
+    std::atomic<uint32_t> next{0};
+  };
+
+  // `self` is the participant id: the caller is 0, the k-th spawned worker
+  // is k + 1.
+  void WorkerLoop(int self);
+  // Drains own stripe, then steals from siblings (level-1 of the barrier).
+  void RunShards(FunctionRef<void(size_t)> fn, size_t n, int self);
 
   int threads_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<ShardCursor[]> cursors_;  // threads_ entries.
 
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;  // Guarded by mu_.
-  size_t job_n_ = 0;                                  // Guarded by mu_.
-  uint64_t job_gen_ = 0;                              // Guarded by mu_.
-  size_t unfinished_ = 0;                             // Guarded by mu_.
-  bool shutdown_ = false;                             // Guarded by mu_.
-  std::atomic<size_t> next_{0};  // Index dispenser for the current job.
+  FunctionRef<void(size_t)> job_;  // Guarded by mu_.
+  size_t job_n_ = 0;               // Guarded by mu_.
+  uint64_t job_gen_ = 0;           // Guarded by mu_.
+  size_t unfinished_ = 0;          // Guarded by mu_.
+  bool shutdown_ = false;          // Guarded by mu_.
 };
 
 }  // namespace taichi::sim

@@ -667,6 +667,206 @@ TEST(Cluster, EpochBoundaryShrinksNodeEventPools) {
   EXPECT_LT(sim.event_pool_slots(), before);
 }
 
+
+// --- Score-indexed placement vs the linear-scan reference ----------------
+
+// Brute-force reference: the exact scan Place() used before the score index.
+int ReferencePlace(const fleet::Placer& p, const fleet::WorkloadSpec& spec) {
+  int best = -1;
+  double best_score = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (!p.Fits(i, spec)) {
+      continue;
+    }
+    const double score = p.LoadScore(i);
+    const bool better =
+        best < 0 || (p.policy() == fleet::PlacePolicy::kBinPack ? score > best_score
+                                                                : score < best_score);
+    if (better) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+TEST(Placer, IndexedPlaceMatchesLinearScanUnderChurn) {
+  // Randomized commit/release churn: every Place() decision must equal the
+  // old O(n) scan's, including its lowest-id tie-breaks (fresh fleets are
+  // all-ties, so the tie path is exercised from the first placement).
+  for (fleet::PlacePolicy policy :
+       {fleet::PlacePolicy::kLeastLoaded, fleet::PlacePolicy::kBinPack}) {
+    fleet::NodeCapacity cap;
+    cap.vm_slots = 8;
+    cap.dp_util = 2.0;
+    cap.cp_load = 16.0;
+    fleet::Placer placer(13, cap, policy);
+    std::vector<std::pair<int, fleet::WorkloadSpec>> admitted;
+    uint64_t seed = 0x91aceULL;
+    for (int round = 0; round < 400; ++round) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      const uint64_t r = seed >> 16;
+      if (r % 4 == 0 && !admitted.empty()) {
+        const size_t victim = r % admitted.size();
+        placer.Release(admitted[victim].first, admitted[victim].second);
+        admitted[victim] = admitted.back();
+        admitted.pop_back();
+        continue;
+      }
+      fleet::WorkloadSpec spec;
+      spec.tenant = "t" + std::to_string(round);
+      spec.vms = 1 + static_cast<int>(r % 3);
+      spec.dp_util = 0.05 * static_cast<double>(r % 7);
+      spec.cp_load = 0.5 * static_cast<double>(r % 5);
+      const int expect = ReferencePlace(placer, spec);
+      const fleet::Placement got = placer.Place(spec);
+      if (expect < 0) {
+        EXPECT_FALSE(got.admitted) << fleet::ToString(policy) << " round " << round;
+      } else {
+        ASSERT_TRUE(got.admitted) << fleet::ToString(policy) << " round " << round;
+        EXPECT_EQ(got.node, expect) << fleet::ToString(policy) << " round " << round;
+        admitted.push_back({got.node, spec});
+      }
+    }
+    EXPECT_GT(placer.admitted(), 100u);
+  }
+}
+
+// --- Idle-node fast path -------------------------------------------------
+
+TEST(Cluster, IdleFastPathIsByteIdenticalToEventLoop) {
+  // Mostly idle fleet: sparse timers on two of four nodes, nothing on the
+  // others. The fast path must land every node exactly where the event loop
+  // would — same clocks, same fire times, same event counts.
+  struct Output {
+    std::vector<sim::SimTime> fires;
+    std::vector<uint64_t> events;
+    std::vector<sim::SimTime> clocks;
+  };
+  auto run = [](bool fast) {
+    fleet::ClusterConfig cfg = SmallCluster(4, 11);
+    cfg.idle_fast_path = fast;
+    fleet::Cluster cluster(cfg);
+    Output out;
+    for (size_t node : {0u, 2u}) {
+      sim::Simulation* sim = &cluster.node(node).sim();
+      // 7 ms period against a 2 ms epoch: most epochs see no event at all.
+      sim->ScheduleRepeating(sim::Millis(7), sim::Millis(7),
+                             [&out, sim] { out.fires.push_back(sim->Now()); });
+    }
+    cluster.RunFor(sim::Millis(60));
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      out.events.push_back(cluster.node(i).sim().events_executed());
+      out.clocks.push_back(cluster.node(i).sim().Now());
+    }
+    return out;
+  };
+  Output fast = run(true);
+  Output slow = run(false);
+  EXPECT_EQ(fast.fires, slow.fires);
+  EXPECT_EQ(fast.events, slow.events);
+  EXPECT_EQ(fast.clocks, slow.clocks);
+  ASSERT_EQ(fast.fires.size(), 16u);  // 2 nodes x 8 fires in 60 ms.
+  for (size_t i = 0; i < fast.clocks.size(); ++i) {
+    EXPECT_EQ(fast.clocks[i], sim::Millis(60));
+  }
+}
+
+// --- Flow-aggregate load generation --------------------------------------
+
+TEST(LoadGen, AggregateModeBuildsFleetDistinctFlowPopulations) {
+  fleet::ClusterConfig cfg = SmallCluster(4, 17);
+  fleet::Cluster cluster(cfg);
+  fleet::LoadGenConfig lcfg;
+  lcfg.seed = 17;
+  lcfg.vm_arrivals = false;
+  lcfg.spawn_monitors = false;
+  lcfg.aggregate.enabled = true;
+  lcfg.aggregate.users_per_node = 200.0;
+  lcfg.aggregate.pps_per_user = 200.0;
+  lcfg.aggregate.flows_per_user = 1.0;
+  fleet::LoadGen load(&cluster, lcfg);
+  load.Start();
+  ASSERT_EQ(load.node_mixes().size(), cluster.size());
+  uint64_t population = 0;
+  for (const fleet::LoadGen::NodeMix& mix : load.node_mixes()) {
+    EXPECT_GT(mix.pps, 0.0);
+    EXPECT_GT(mix.util, 0.0);
+    // ~200 flows per node, spread across the node's DP CPUs.
+    EXPECT_NEAR(static_cast<double>(mix.flows), 200.0, 8.0);
+    population += mix.flows;
+  }
+  cluster.RunFor(sim::Millis(120));
+  load.Stop();
+  // The merged RX sketch must see close to the full fleet population: the
+  // per-node salts make every node's flows distinct, so the fleet count
+  // scales with node count instead of aliasing onto one node's population.
+  const double distinct =
+      cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kRx).DistinctFlows();
+  EXPECT_GT(distinct, 0.80 * static_cast<double>(population));
+  EXPECT_LT(distinct, 1.10 * static_cast<double>(population));
+}
+
+TEST(LoadGen, AggregateModeParallelRunIsByteIdenticalToSerial) {
+  auto run = [](int threads) {
+    fleet::ClusterConfig cfg = SmallCluster(4, 29);
+    cfg.threads = threads;
+    fleet::Cluster cluster(cfg);
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 29;
+    lcfg.aggregate.enabled = true;
+    lcfg.aggregate.users_per_node = 150.0;
+    lcfg.aggregate.pps_per_user = 100.0;
+    lcfg.vm_arrival_rate_per_sec = 100.0;
+    fleet::LoadGen load(&cluster, lcfg);
+    load.Start();
+    cluster.RunFor(sim::Millis(60));
+    load.Stop();
+    std::string out = cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kRx).ToJson(8);
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      out += cluster.observability(i).metrics.Snapshot(cluster.Now()).ToJson();
+      out += std::to_string(cluster.node(i).sim().events_executed());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// --- Calendar queue under the fleet --------------------------------------
+
+TEST(Cluster, CalendarEngagedFleetRunIsByteIdenticalToHeapOnly) {
+  // Force the calendar on at a tiny threshold and compare a full fleet run
+  // against the heap-only build of the same universe: every metric, flow
+  // sketch and event count must match byte for byte.
+  auto run = [](size_t threshold) {
+    fleet::ClusterConfig cfg = SmallCluster(3, 37);
+    fleet::Cluster cluster(cfg);
+    bool engaged = false;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      cluster.node(i).sim().SetCalendarEngageThreshold(threshold);
+    }
+    fleet::LoadGenConfig lcfg;
+    lcfg.seed = 37;
+    lcfg.vm_arrival_rate_per_sec = 150.0;
+    fleet::LoadGen load(&cluster, lcfg);
+    load.Start();
+    cluster.RunFor(sim::Millis(60));
+    load.Stop();
+    std::string out = cluster.MergedFlowMonitor(fleet::Cluster::FlowTap::kDp).ToJson(8);
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      out += cluster.observability(i).metrics.Snapshot(cluster.Now()).ToJson();
+      out += std::to_string(cluster.node(i).sim().events_executed());
+      engaged = engaged || cluster.node(i).sim().calendar_engages() > 0;
+    }
+    return std::pair(out, engaged);
+  };
+  auto [calendar_out, calendar_engaged] = run(32);
+  auto [heap_out, heap_engaged] = run(0);
+  EXPECT_TRUE(calendar_engaged);  // The tiny threshold must actually engage.
+  EXPECT_FALSE(heap_engaged);
+  EXPECT_EQ(calendar_out, heap_out);
+}
+
 // --- Runtime enable/disable and rollout ----------------------------------
 
 TEST(RuntimeTaiChi, EnableDisableReenableQuiesces) {

@@ -481,6 +481,309 @@ TEST(EventQueueTest, MoveOnlyCaptureSchedules) {
   EXPECT_EQ(got, 42);
 }
 
+
+// ---- Calendar front-end ------------------------------------------------------
+//
+// Everything below exercises the bucketed calendar that engages above the
+// standing-population threshold. The load-bearing contract: pop order is the
+// exact (time, seq) order the heap produces — the calendar is invisible to
+// every consumer except the profiler.
+
+TEST(CalendarQueueTest, EngagesAtThresholdAndDisengagesWhenDrained) {
+  EventQueue q;
+  q.set_calendar_engage_threshold(256);
+  EXPECT_EQ(q.calendar_engage_threshold(), 256u);
+  for (int i = 0; i < 255; ++i) {
+    q.Schedule(static_cast<SimTime>(1000 + i), [] {});
+  }
+  EXPECT_FALSE(q.calendar_engaged());
+  q.Schedule(2000, [] {});  // The 256th standing event flips it.
+  EXPECT_TRUE(q.calendar_engaged());
+  EXPECT_EQ(q.calendar_engages(), 1u);
+  // Drain below threshold/4 and let the explicit shrink disengage it.
+  while (q.size() > 32) {
+    q.PopNext();
+  }
+  q.ShrinkToFit();
+  EXPECT_FALSE(q.calendar_engaged());
+  // The survivors still pop in exact order.
+  SimTime last = 0;
+  while (!q.empty()) {
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+  }
+}
+
+TEST(CalendarQueueTest, ZeroThresholdDisablesAndDisengages) {
+  EventQueue q;
+  q.set_calendar_engage_threshold(128);
+  for (int i = 0; i < 512; ++i) {
+    q.Schedule(static_cast<SimTime>(i * 3), [] {});
+  }
+  ASSERT_TRUE(q.calendar_engaged());
+  q.set_calendar_engage_threshold(0);  // Heap-only mode: disengages live.
+  EXPECT_FALSE(q.calendar_engaged());
+  SimTime last = 0;
+  size_t popped = 0;
+  while (!q.empty()) {
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 512u);
+}
+
+TEST(CalendarQueueTest, LoweringThresholdBelowPopulationEngagesImmediately) {
+  EventQueue q;
+  q.set_calendar_engage_threshold(0);
+  for (int i = 0; i < 300; ++i) {
+    q.Schedule(static_cast<SimTime>(i), [] {});
+  }
+  EXPECT_FALSE(q.calendar_engaged());
+  q.set_calendar_engage_threshold(100);
+  EXPECT_TRUE(q.calendar_engaged());
+}
+
+TEST(CalendarQueueTest, EqualTimesKeepInsertionOrderWhileEngaged) {
+  EventQueue q;
+  q.set_calendar_engage_threshold(64);
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    q.Schedule(7, [&order, i] { order.push_back(i); });
+  }
+  ASSERT_TRUE(q.calendar_engaged());
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(CalendarQueueTest, CancelInsideCursorBucketSkipsTombstones) {
+  EventQueue q;
+  q.set_calendar_engage_threshold(64);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(q.Schedule(static_cast<SimTime>(10 + i % 4), [] {}));
+  }
+  ASSERT_TRUE(q.calendar_engaged());
+  // Pop one so the cursor bucket is sorted, then tombstone entries inside it
+  // (and a spread of entries elsewhere).
+  EXPECT_EQ(q.PopNext().when, 10u);
+  size_t cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    if (q.Cancel(ids[i])) {
+      ++cancelled;
+    }
+  }
+  SimTime last = 0;
+  size_t popped = 1;
+  while (!q.empty()) {
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 256u - cancelled);
+}
+
+TEST(CalendarQueueTest, RepeatingTimersCycleThroughWheelRotations) {
+  // Standing timers whose re-keys land past the current window force
+  // repeated RotateWheel calls; the fire sequence must stay exact.
+  EventQueue q;
+  q.set_calendar_engage_threshold(128);
+  constexpr int kTimers = 256;
+  constexpr SimTime kPeriod = 1000;
+  std::vector<int> hits(kTimers, 0);
+  for (int i = 0; i < kTimers; ++i) {
+    q.ScheduleRepeating(static_cast<SimTime>(1 + i * kPeriod / kTimers), kPeriod,
+                        [&hits, i] { ++hits[static_cast<size_t>(i)]; });
+  }
+  ASSERT_TRUE(q.calendar_engaged());
+  SimTime last = 0;
+  for (int pops = 0; pops < kTimers * 50; ++pops) {
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+    fired.fn();
+    q.RestoreRepeating(fired.id, std::move(fired.fn));
+  }
+  for (int i = 0; i < kTimers; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)], 50) << "timer " << i;
+  }
+  EXPECT_TRUE(q.calendar_engaged());
+  EXPECT_EQ(q.size(), static_cast<size_t>(kTimers));
+}
+
+TEST(CalendarQueueTest, FarFutureSentinelDoesNotStarveTheWindow) {
+  // One event parked at the far horizon (a deadline sentinel) must not
+  // stretch the bucket width so far that the dense population degenerates
+  // into one bucket.
+  EventQueue q;
+  q.set_calendar_engage_threshold(128);
+  q.Schedule(static_cast<SimTime>(1) << 60, [] {});  // The sentinel.
+  for (int i = 0; i < 1024; ++i) {
+    q.Schedule(static_cast<SimTime>(100 + i), [] {});
+  }
+  ASSERT_TRUE(q.calendar_engaged());
+  SimTime last = 0;
+  for (int i = 0; i < 1024; ++i) {
+    EventQueue::Fired fired = q.PopNext();
+    EXPECT_GE(fired.when, last);
+    last = fired.when;
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.PopNext().when, static_cast<SimTime>(1) << 60);
+}
+
+// Randomized mirror harness: every operation lands on a heap-only queue and
+// a calendar-engaging queue; both must pop the identical (when, marker)
+// sequence through engage, rotation, and disengage boundaries.
+class MirrorHarness {
+ public:
+  explicit MirrorHarness(size_t threshold) {
+    heap_.set_calendar_engage_threshold(0);
+    cal_.set_calendar_engage_threshold(threshold);
+  }
+
+  void Schedule(SimTime when) {
+    const int marker = next_marker_++;
+    EventId h = heap_.Schedule(when, [] {});
+    EventId c = cal_.Schedule(when, [] {});
+    live_.push_back({h, c, marker, false});
+  }
+
+  void ScheduleRepeating(SimTime first, Duration period) {
+    const int marker = next_marker_++;
+    EventId h = heap_.ScheduleRepeating(first, period, [] {});
+    EventId c = cal_.ScheduleRepeating(first, period, [] {});
+    live_.push_back({h, c, marker, true});
+  }
+
+  void CancelAt(size_t idx) {
+    Entry& e = live_[idx % live_.size()];
+    EXPECT_EQ(heap_.Cancel(e.heap_id), cal_.Cancel(e.cal_id));
+    live_[idx % live_.size()] = live_.back();
+    live_.pop_back();
+  }
+
+  void RescheduleAt(size_t idx, SimTime when) {
+    Entry& e = live_[idx % live_.size()];
+    EXPECT_EQ(heap_.Reschedule(e.heap_id, when), cal_.Reschedule(e.cal_id, when));
+  }
+
+  // Pops one event from both queues and checks they agree on time AND
+  // identity (same marker). Returns false when both are empty.
+  bool PopOne() {
+    EXPECT_EQ(heap_.empty(), cal_.empty());
+    EXPECT_EQ(heap_.size(), cal_.size());
+    if (heap_.empty()) {
+      return false;
+    }
+    EXPECT_EQ(heap_.NextTime(), cal_.NextTime());
+    EventQueue::Fired h = heap_.PopNext();
+    EventQueue::Fired c = cal_.PopNext();
+    EXPECT_EQ(h.when, c.when);
+    EXPECT_EQ(h.repeating, c.repeating);
+    const size_t hi = FindLive(h.id, /*heap=*/true);
+    const size_t ci = FindLive(c.id, /*heap=*/false);
+    EXPECT_EQ(hi, ci) << "queues popped different events at t=" << h.when;
+    if (h.repeating) {
+      heap_.RestoreRepeating(h.id, std::move(h.fn));
+      cal_.RestoreRepeating(c.id, std::move(c.fn));
+    } else if (hi < live_.size() && hi == ci) {
+      live_[hi] = live_.back();
+      live_.pop_back();
+    }
+    return true;
+  }
+
+  void ShrinkBoth() {
+    heap_.ShrinkToFit();
+    cal_.ShrinkToFit();
+  }
+
+  EventQueue& cal() { return cal_; }
+  size_t live_count() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    EventId heap_id;
+    EventId cal_id;
+    int marker;
+    bool repeating;
+  };
+
+  size_t FindLive(EventId id, bool heap) const {
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if ((heap ? live_[i].heap_id : live_[i].cal_id) == id) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "popped id not in live set";
+    return static_cast<size_t>(-1);
+  }
+
+  EventQueue heap_;
+  EventQueue cal_;
+  std::vector<Entry> live_;
+  int next_marker_ = 0;
+};
+
+TEST(CalendarQueueTest, RandomChurnMatchesHeapAcrossEngageAndDisengage) {
+  MirrorHarness m(512);
+  uint64_t seed = 0x5eed;
+  auto rnd = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 16;
+  };
+  SimTime now = 0;
+
+  // Phase 1: grow well past the threshold with mixed churn. Times cluster
+  // near `now` with occasional far outliers, so inserts land in the cursor
+  // bucket, later buckets, and the overflow heap.
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t r = rnd();
+    const SimTime when = now + 1 + (r % 997) * (r % 31 == 0 ? 1000 : 1);
+    if (r % 17 == 0 && m.live_count() > 0) {
+      m.CancelAt(rnd());
+    } else if (r % 23 == 0 && m.live_count() > 0) {
+      m.RescheduleAt(rnd(), when);
+    } else if (r % 41 == 0) {
+      m.ScheduleRepeating(when - now, 1 + r % 300);
+    } else {
+      m.Schedule(when);
+    }
+    if (r % 5 == 0) {
+      m.PopOne();
+    }
+  }
+  EXPECT_TRUE(m.cal().calendar_engaged());
+  EXPECT_GE(m.cal().calendar_engages(), 1u);
+
+  // Phase 2: drain with interleaved churn and periodic shrink checks until
+  // both queues are empty. Repeating events are cancelled as encountered so
+  // the drain terminates.
+  int pops = 0;
+  while (m.live_count() > 0 || m.PopOne()) {
+    const uint64_t r = rnd();
+    if (m.live_count() > 0 && r % 3 == 0) {
+      m.CancelAt(rnd());
+    }
+    if (!m.PopOne()) {
+      break;
+    }
+    if (++pops % 512 == 0) {
+      m.ShrinkBoth();
+    }
+  }
+  EXPECT_FALSE(m.cal().calendar_engaged());  // Drained + shrunk: disengaged.
+}
+
 TEST(EventQueueTest, StressManyEventsStayOrdered) {
   EventQueue q;
   // Pseudo-random times; verify nondecreasing pop order.

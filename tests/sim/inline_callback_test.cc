@@ -152,6 +152,39 @@ TEST(InlineFunctionTest, MovePreservesNonVoidSignature) {
   EXPECT_EQ(g(), 42);
 }
 
+TEST(FunctionRefTest, BindsLambdasFunctorsAndStaysTwoWords) {
+  // The non-owning view the hot paths pass instead of std::function: it must
+  // bind any callable by reference, stay trivially copyable, and never grow
+  // past an object pointer + an invoke pointer.
+  static_assert(sizeof(FunctionRef<void(size_t)>) <= 2 * sizeof(void*));
+  static_assert(std::is_trivially_copyable_v<FunctionRef<void(size_t)>>);
+
+  int sum = 0;
+  auto lambda = [&sum](size_t i) { sum += static_cast<int>(i); };
+  FunctionRef<void(size_t)> ref = lambda;
+  EXPECT_TRUE(static_cast<bool>(ref));
+  ref(40);
+  ref(2);
+  EXPECT_EQ(sum, 42);
+
+  struct Doubler {
+    int operator()(int x) const { return 2 * x; }
+  };
+  Doubler d;
+  FunctionRef<int(int)> dref = d;
+  EXPECT_EQ(dref(21), 42);
+
+  // Copies alias the same underlying callable.
+  FunctionRef<void(size_t)> copy = ref;
+  copy(8);
+  EXPECT_EQ(sum, 50);
+}
+
+TEST(FunctionRefTest, DefaultConstructedIsFalse) {
+  FunctionRef<void()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+}
+
 TEST(InlineCallbackTest, SelfRescheduleStyleReuse) {
   // The repeating-timer pattern: invoke, move back, invoke again.
   int hits = 0;

@@ -83,5 +83,53 @@ TEST(ThreadPoolTest, ParallelResultMatchesSerialResult) {
   EXPECT_EQ(run(1), run(4));
 }
 
+TEST(ThreadPoolTest, ShardStripesCoverLargeIndexSpacesExactlyOnce) {
+  // n far above the thread count: every stripe owner plus the steal path
+  // must together claim each index exactly once, including when n is not a
+  // multiple of the thread count.
+  ThreadPool pool(5);
+  for (size_t n : {4u, 5u, 6u, 97u, 4096u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, StealingDrainsAnUnbalancedJob) {
+  // One stripe carries nearly all the work (index 0 is slow, the rest are
+  // instant): the other participants must steal through it rather than idle,
+  // and the barrier still holds every write.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    if (i == 0) {
+      volatile uint64_t x = 1;
+      for (int k = 0; k < 2000000; ++k) {
+        x = x * 6364136223846793005ULL + 1;
+      }
+    }
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForBindsAnyCallableThroughFunctionRef) {
+  // ParallelFor takes a FunctionRef: mutable lambdas with captures and plain
+  // function objects must both bind without copies or allocation.
+  ThreadPool pool(2);
+  struct Functor {
+    std::atomic<uint64_t>* sum;
+    void operator()(size_t i) const { sum->fetch_add(i); }
+  };
+  std::atomic<uint64_t> sum{0};
+  Functor f{&sum};
+  pool.ParallelFor(100, f);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
 }  // namespace
 }  // namespace taichi::sim
